@@ -1,0 +1,37 @@
+"""Fig. 14: normalized linear-layer energy versus the baseline accelerators."""
+
+from __future__ import annotations
+
+from repro.arch import FIG14_SEQ_LENS, FIG14_SLC_RATES, PerformanceComparison
+from repro.models import paper_model
+
+PAPER_ANCHORS = {
+    # N=128 values read off Fig. 14 (non-PIM = 100).
+    128: {"hyflexpim@5%": 15.1, "asadi-dagger": 18.8, "asadi": 42.1, "nmp": 50.0, "sprint": 81.7},
+    8192: {"hyflexpim@5%": 27.3, "asadi-dagger": 34.0, "asadi": 76.2, "nmp": 81.7, "sprint": 99.1},
+}
+
+
+def test_fig14_linear_layer_energy(benchmark, print_header):
+    comparison = PerformanceComparison()
+    spec = paper_model("bert-large")
+
+    def run():
+        return comparison.linear_energy_table(spec, FIG14_SEQ_LENS, FIG14_SLC_RATES)
+
+    table = benchmark(run)
+
+    print_header("Fig. 14 — linear-layer energy normalized to non-PIM = 100 (BERT-Large)")
+    columns = list(next(iter(table.values())))
+    print(f"{'N':>6} " + " ".join(f"{c:>14}" for c in columns))
+    for n, row in table.items():
+        print(f"{n:>6} " + " ".join(f"{row[c]:>14.1f}" for c in columns))
+
+    print("\npaper vs measured (selected anchors):")
+    for n, anchors in PAPER_ANCHORS.items():
+        for key, paper_value in anchors.items():
+            print(f"  N={n:<5} {key:>14}: paper {paper_value:>5.1f} | measured {table[n][key]:>5.1f}")
+
+    for n, row in table.items():
+        assert row["hyflexpim@5%"] < row["asadi-dagger"] < row["asadi"]
+        assert row["asadi"] < row["nmp"] < row["sprint"] < row["non-pim"]

@@ -1,0 +1,53 @@
+"""Fig. 15: end-to-end energy comparison and HyFlexPIM's breakdown."""
+
+from __future__ import annotations
+
+from repro.arch import PerformanceComparison
+from repro.models import paper_model
+
+SEQ_LENS = (128, 512, 1024)
+
+
+def test_fig15_end_to_end_energy(benchmark, print_header):
+    comparison = PerformanceComparison()
+    cases = ((paper_model("bert-large"), 0.05), (paper_model("gpt2"), 0.30))
+
+    def run():
+        improvements = {}
+        breakdowns = {}
+        for spec, rate in cases:
+            improvements[spec.name] = {
+                n: comparison.energy_improvement(spec, n, rate) for n in SEQ_LENS
+            }
+            breakdowns[spec.name] = {
+                n: comparison.end_to_end_energy(spec, n, rate).shares() for n in SEQ_LENS
+            }
+        return improvements, breakdowns
+
+    improvements, breakdowns = benchmark(run)
+
+    print_header("Fig. 15(a,c) — end-to-end energy improvement over baselines (x)")
+    for model_name, per_n in improvements.items():
+        rate = "5%" if model_name == "bert-large" else "30%"
+        print(f"\n[{model_name} @ {rate} SLC]")
+        baselines = list(next(iter(per_n.values())))
+        print(f"{'N':>6} " + " ".join(f"{b:>13}" for b in baselines))
+        for n, row in per_n.items():
+            print(f"{n:>6} " + " ".join(f"{row[b]:>12.2f}x" for b in baselines))
+
+    print("\npaper anchors: BERT-Large N=128: non-PIM 6.15x, SPRINT/NMP 4.94x, ASADI+ 1.45x;")
+    print("               GPT-2 N=128: 5.82x / 4.69x / 1.35x; gaps shrink as N grows.")
+
+    print_header("Fig. 15(b,d) — HyFlexPIM energy breakdown (share of total)")
+    for model_name, per_n in breakdowns.items():
+        print(f"\n[{model_name}]")
+        categories = sorted(next(iter(per_n.values())), key=lambda c: -per_n[SEQ_LENS[0]][c])
+        print(f"{'category':>20} " + " ".join(f"N={n:>5}" for n in SEQ_LENS))
+        for category in categories:
+            row = " ".join(f"{per_n[n][category] * 100:>6.1f}%" for n in SEQ_LENS)
+            print(f"{category:>20} {row}")
+
+    for model_name, per_n in improvements.items():
+        for n, row in per_n.items():
+            assert row["asadi-dagger"] > 1.0, (model_name, n)
+            assert row["non-pim"] > row["asadi-dagger"], (model_name, n)

@@ -1,0 +1,19 @@
+"""Table 1: fine-tuning hyper-parameters per benchmark model."""
+
+from __future__ import annotations
+
+from repro.models import PAPER_MODELS, TABLE1_HYPERPARAMS
+
+
+def test_table1_hyperparams(benchmark, print_header):
+    def build():
+        return {name: TABLE1_HYPERPARAMS[name] for name in PAPER_MODELS}
+
+    rows = benchmark(build)
+    print_header("Table 1 — fine-tuning hyper-parameters (paper values)")
+    print(f"{'model':>12} {'batch':>6} {'lr':>8} {'optimizer':>10} {'epochs':>7}")
+    for name, params in rows.items():
+        print(
+            f"{name:>12} {params.batch_size:>6} {params.learning_rate:>8.0e} "
+            f"{params.optimizer:>10} {params.epochs:>7}"
+        )

@@ -1,0 +1,32 @@
+"""Table 2: component-level area and power of HyFlexPIM."""
+
+from __future__ import annotations
+
+from repro.arch import ANALOG_MODULE, DIGITAL_MODULE, area_report, table2_rows
+
+
+def test_table2_area_power(benchmark, print_header):
+    def build():
+        return {
+            "analog": table2_rows(ANALOG_MODULE),
+            "digital": table2_rows(DIGITAL_MODULE),
+            "rollup": area_report(),
+        }
+
+    result = benchmark(build)
+    print_header("Table 2 — hardware configuration and component area/power")
+    for module_name in ("analog", "digital"):
+        print(f"\n[{module_name} RRAM module]")
+        print(f"{'component':>14} {'area mm^2':>10} {'share':>7} {'power mW':>10} {'share':>7} {'count':>8}")
+        for row in result[module_name]:
+            print(
+                f"{row['component']:>14} {row['area_mm2']:>10.4f} "
+                f"{row['area_share'] * 100:>6.1f}% {row['power_mw']:>10.2f} "
+                f"{row['power_share'] * 100:>6.1f}% {row['count']:>8}"
+            )
+    rollup = result["rollup"]
+    print(
+        f"\nPU: {rollup.pu_mm2:.2f} mm^2 / {rollup.pu_mw / 1000:.1f} W; "
+        f"chip (24 PUs): {rollup.chip_mm2:.0f} mm^2 (65 nm)"
+    )
+    print("paper: analog 0.47 mm^2 / 930.69 mW; digital 8.01 mm^2 / 6532.05 mW")

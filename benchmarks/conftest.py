@@ -1,0 +1,64 @@
+"""Shared helpers for the per-figure/table benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+and prints the series it produces, so `pytest benchmarks/ --benchmark-only`
+doubles as the experiment log (captured into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import GlueTaskData, make_glue_task
+from repro.nn import (
+    AdamW,
+    BatchIterator,
+    EncoderClassifier,
+    TransformerConfig,
+    cross_entropy,
+    mse_loss,
+)
+
+
+def train_mini_encoder(
+    data: GlueTaskData,
+    num_layers: int = 3,
+    d_model: int = 32,
+    epochs: int = 5,
+    regression: bool = False,
+    seed: int = 0,
+) -> EncoderClassifier:
+    """Train a down-scaled BERT-like encoder on a synthetic GLUE task."""
+    config = TransformerConfig(
+        vocab_size=data.spec.vocab_size,
+        d_model=d_model,
+        num_heads=4,
+        num_layers=num_layers,
+        d_ff=2 * d_model,
+        max_seq_len=data.spec.seq_len,
+        num_classes=1 if regression else 2,
+        seed=seed,
+    )
+    model = EncoderClassifier(config)
+    optimizer = AdamW(model.parameters(), lr=2e-3)
+    rng = np.random.default_rng(seed)
+    for _ in range(epochs):
+        for inputs, targets in BatchIterator(data.train, 32, rng=rng):
+            logits = model(inputs)
+            if regression:
+                loss = mse_loss(logits.reshape(-1), targets)
+            else:
+                loss = cross_entropy(logits, targets.astype(int))
+            model.zero_grad()
+            loss.backward()
+            optimizer.step()
+    return model
+
+
+@pytest.fixture(scope="session")
+def print_header(request):
+    def _header(title: str) -> None:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+    return _header

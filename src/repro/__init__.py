@@ -1,0 +1,22 @@
+"""HyFlexPIM reproduction: hybrid SLC-MLC RRAM mixed-signal PIM for Transformers.
+
+Reproduction of "Hybrid SLC-MLC RRAM Mixed-Signal Processing-in-Memory
+Architecture for Transformer Acceleration via Gradient Redistribution"
+(ISCA 2025).  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the paper-versus-measured record.
+
+Sub-packages
+------------
+``repro.nn``        numpy autograd + Transformer model substrate
+``repro.quant``     INT8 quantization
+``repro.svd``       SVD gradient-redistribution pipeline (the paper's algorithm)
+``repro.rram``      RRAM device, noise, ADC and crossbar models
+``repro.pim``       analog/digital PIM modules, processing units, chip
+``repro.arch``      analytic performance model + baseline accelerators
+``repro.models``    paper model configs and down-scaled factories
+``repro.datasets``  synthetic GLUE/LM/vision workloads
+``repro.eval``      metrics and experiment harness
+``repro.core``      public compile -> deploy -> evaluate API
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,79 @@
+"""Area aggregation and area-efficiency metrics (Table 2, Fig. 16's TOPS/mm²)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import DEFAULT_HARDWARE, HardwareConfig, ModuleSpec
+
+__all__ = ["AreaReport", "area_report", "table2_rows"]
+
+
+@dataclass
+class AreaReport:
+    """Chip-level area and power roll-up."""
+
+    analog_module_mm2: float
+    digital_module_mm2: float
+    pu_mm2: float
+    chip_mm2: float
+    analog_module_mw: float
+    digital_module_mw: float
+    pu_mw: float
+    chip_mw: float
+
+
+def area_report(hardware: HardwareConfig | None = None) -> AreaReport:
+    hw = hardware or DEFAULT_HARDWARE
+    return AreaReport(
+        analog_module_mm2=hw.analog.module_area_mm2(),
+        digital_module_mm2=hw.digital.module_area_mm2(),
+        pu_mm2=hw.pu_area_mm2(),
+        chip_mm2=hw.chip_area_mm2(),
+        analog_module_mw=hw.analog.module_power_mw(),
+        digital_module_mw=hw.digital.module_power_mw(),
+        pu_mw=hw.pu_power_mw(),
+        chip_mw=hw.num_pus * hw.pu_power_mw(),
+    )
+
+
+def table2_rows(module: ModuleSpec) -> list[dict[str, float | str | int]]:
+    """Regenerate the rows of Table 2 for one module type."""
+    rows: list[dict[str, float | str | int]] = []
+    area_total = module.module_area_mm2()
+    power_total = module.module_power_mw()
+    for comp in module.components:
+        rows.append(
+            {
+                "component": comp.name,
+                "area_mm2": comp.area_mm2,
+                "area_share": comp.area_mm2 / area_total,
+                "power_mw": comp.power_mw,
+                "power_share": comp.power_mw / power_total,
+                "count": comp.count,
+                "note": comp.note,
+            }
+        )
+    rows.append(
+        {
+            "component": "sum",
+            "area_mm2": area_total,
+            "area_share": 1.0,
+            "power_mw": power_total,
+            "power_share": 1.0,
+            "count": 1,
+            "note": "",
+        }
+    )
+    rows.append(
+        {
+            "component": "total_per_pu",
+            "area_mm2": area_total * module.modules_per_pu,
+            "area_share": float(module.modules_per_pu),
+            "power_mw": power_total * module.modules_per_pu,
+            "power_share": float(module.modules_per_pu),
+            "count": module.modules_per_pu,
+            "note": f"{module.modules_per_pu} modules per PU",
+        }
+    )
+    return rows

@@ -1,0 +1,18 @@
+"""Baseline accelerator models for the Section 5.3 comparison suite."""
+
+from repro.arch.baselines.asadi import AsadiBaseline, AsadiDaggerBaseline
+from repro.arch.baselines.base import BaselineCosts, BaselineModel, DEFAULT_COSTS
+from repro.arch.baselines.nmp import NmpBaseline
+from repro.arch.baselines.non_pim import NonPimBaseline
+from repro.arch.baselines.sprint import SprintBaseline
+
+__all__ = [
+    "AsadiBaseline",
+    "AsadiDaggerBaseline",
+    "BaselineCosts",
+    "BaselineModel",
+    "DEFAULT_COSTS",
+    "NmpBaseline",
+    "NonPimBaseline",
+    "SprintBaseline",
+]

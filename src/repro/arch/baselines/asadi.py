@@ -1,0 +1,109 @@
+"""ASADI / ASADI† baselines: SLC-only analog-digital RRAM PIM (HPCA'24).
+
+ASADI is the paper's closest competitor: the same class of analog RRAM PIM
+for linear layers, but (1) **SLC only** — it never exploits MLC density or
+throughput, and (2) **FP32** — its published configuration keeps attention
+and (in the original) linear layers at full precision, exploiting diagonal
+data locality and token pruning inside attention.
+
+Two variants match Section 5.3:
+
+- ``AsadiBaseline``  — original FP32 configuration;
+- ``AsadiDaggerBaseline`` ("ASADI†") — the paper's conservative variant with
+  INT8 linear layers, i.e. HyFlexPIM's own analog path at a 100 % SLC rate.
+
+Because ASADI's internal micro-architecture is not reproducible from this
+paper alone, its FP32 overhead factors are calibrated constants (see
+``BaselineCosts``), chosen inside physically sensible ranges to land on the
+relative gaps Figs. 14-16 report; EXPERIMENTS.md tracks paper-vs-model.
+"""
+
+from __future__ import annotations
+
+from repro.arch.baselines.base import BaselineCosts, BaselineModel
+from repro.arch.energy import EnergyBreakdown, HyFlexPimEnergyModel
+from repro.arch.config import HardwareConfig
+from repro.models.configs import ModelSpec
+
+__all__ = ["AsadiDaggerBaseline", "AsadiBaseline"]
+
+
+class AsadiDaggerBaseline(BaselineModel):
+    """ASADI† — INT8 linear layers on SLC-only analog PIM."""
+
+    name = "asadi-dagger"
+
+    def __init__(
+        self,
+        costs: BaselineCosts | None = None,
+        hardware: HardwareConfig | None = None,
+    ) -> None:
+        super().__init__(costs)
+        self._pim = HyFlexPimEnergyModel(hardware)
+
+    def linear_layers_energy(self, spec: ModelSpec, seq_len: int) -> EnergyBreakdown:
+        # Identical analog arrays at a 100% SLC rate (no SVD, dense mapping):
+        # dense (out x in) matrices instead of factored pairs.
+        d, ff = spec.d_model, spec.d_ff
+        breakdown = EnergyBreakdown()
+        for out_f, in_f in [(d, d)] * 4 + [(ff, d), (d, ff)]:
+            layer = self._pim.gemv_energy(out_f, in_f, cell_bits=1, tokens=float(seq_len))
+            for category, pj in layer.categories.items():
+                breakdown.add(category, pj * spec.num_layers)
+        return breakdown
+
+    def _attention_energy(self, spec: ModelSpec, seq_len: int) -> EnergyBreakdown:
+        """FP32 digital-PIM attention with ASADI's locality compression."""
+        attn = self._pim.attention_energy(spec, seq_len)
+        factor = self.costs.fp32_energy_factor * self.costs.asadi_attention_keep_ratio
+        scaled = EnergyBreakdown()
+        for category, pj in attn.categories.items():
+            # Writes/SFU stay INT8/FP16-ish; the dot-product path is FP32.
+            if category in ("attention_dot", "wl_drv_digital", "sh_sa", "sram_access"):
+                scaled.add(category, pj * factor)
+            else:
+                scaled.add(category, pj)
+        return scaled
+
+    def end_to_end_energy(self, spec: ModelSpec, seq_len: int) -> EnergyBreakdown:
+        breakdown = self.linear_layers_energy(spec, seq_len)
+        breakdown.merge(self._attention_energy(spec, seq_len))
+        return breakdown
+
+    def inference_time_s(self, spec: ModelSpec, seq_len: int, mode: str = "prefill") -> float:
+        """Same PIM timing methodology, dense SLC mapping + FP32 attention."""
+        from repro.arch.latency import HyFlexPimLatencyModel
+
+        attention_factor = (
+            self.costs.fp32_digital_pim_time_factor * self.costs.asadi_attention_keep_ratio
+        )
+        latency = HyFlexPimLatencyModel(
+            self._pim.hw, attention_time_factor=attention_factor
+        )
+        return latency.inference_time_s(
+            spec, seq_len, slc_rate=1.0, dense=True, mode=mode
+        )
+
+
+class AsadiBaseline(AsadiDaggerBaseline):
+    """Original ASADI: FP32 linear layers as well (4 bytes per weight)."""
+
+    name = "asadi"
+
+    #: FP32 linear-layer energy versus the INT8 variant.  Storing FP32 in SLC
+    #: quadruples bit-slices, but ASADI's diagonal-format compression recovers
+    #: part of it; the net factor is calibrated to the Fig. 14 gap.
+    FP32_LINEAR_FACTOR = 2.24
+
+    def linear_layers_energy(self, spec: ModelSpec, seq_len: int) -> EnergyBreakdown:
+        base = super().linear_layers_energy(spec, seq_len)
+        scaled = EnergyBreakdown()
+        for category, pj in base.categories.items():
+            scaled.add(category, pj * self.FP32_LINEAR_FACTOR)
+        return scaled
+
+    def inference_time_s(self, spec: ModelSpec, seq_len: int, mode: str = "prefill") -> float:
+        # FP32 weights quadruple the SLC array footprint, quartering the
+        # sustainable pipeline concurrency versus the INT8 variant; the
+        # locality compression claws back the same share as in energy.
+        return super().inference_time_s(spec, seq_len, mode) * self.FP32_LINEAR_FACTOR

@@ -1,0 +1,47 @@
+"""NMP baseline: TransPIM-style near-memory processing on HBM (HPCA'22).
+
+Function-in-memory DRAM places ALUs next to HBM banks: data movement is
+bank-local (cheap relative to off-chip DRAM) but computation still happens
+in digital logic *next to* — not inside — the arrays, with bank-level MACs
+that are less energy-efficient than a dedicated datapath.  It lands between
+the non-PIM baseline and true PIM in Figs. 14-15.
+"""
+
+from __future__ import annotations
+
+from repro.arch.baselines.base import BaselineModel
+from repro.arch.energy import EnergyBreakdown
+from repro.models.configs import ModelSpec
+
+__all__ = ["NmpBaseline"]
+
+
+class NmpBaseline(BaselineModel):
+    name = "nmp"
+
+    def linear_layers_energy(self, spec: ModelSpec, seq_len: int) -> EnergyBreakdown:
+        c = self.costs
+        macs = self._linear_macs(spec, seq_len)
+        weight_bytes = self._weight_bytes(spec)
+        breakdown = EnergyBreakdown()
+        # Weights activate HBM rows once, then move bank-locally per use.
+        breakdown.add("dram_access", weight_bytes * c.hbm_pj_per_byte)
+        breakdown.add("sram_access", macs * c.nmp_local_pj_per_byte)
+        breakdown.add("mac_digital", macs * c.nmp_mac_int8_pj)
+        return breakdown
+
+    def end_to_end_energy(self, spec: ModelSpec, seq_len: int) -> EnergyBreakdown:
+        c = self.costs
+        breakdown = self.linear_layers_energy(spec, seq_len)
+        attn_macs = self._attention_macs(spec, seq_len)
+        breakdown.add("mac_digital", attn_macs * c.nmp_mac_int8_pj)
+        breakdown.add("sram_access", attn_macs * c.nmp_local_pj_per_byte)
+        softmax_elems = float(spec.num_heads * seq_len**2 * spec.num_layers)
+        breakdown.add("mac_digital", 5 * softmax_elems * c.nmp_mac_int8_pj)
+        return breakdown
+
+    def inference_time_s(self, spec: ModelSpec, seq_len: int, mode: str = "prefill") -> float:
+        # Bank-level parallelism gives NMP datapath-class compute throughput;
+        # HBM bandwidth governs weight streaming (bank-local, so cheaper per
+        # byte but the same per-token streaming pattern in decode).
+        return self._streaming_time_s(spec, seq_len, mode, self.costs.hbm_bandwidth_gbps)

@@ -1,0 +1,54 @@
+"""SPRINT baseline: in-RRAM token pruning + digital processing (MICRO'22).
+
+SPRINT keeps weights in on-chip RRAM *storage* (no off-chip DRAM), prunes
+74.6 % of attention tokens with an analog in-memory MSB Q·K pre-computation,
+and executes all remaining work — linear layers included — on a conventional
+digital INT8 datapath.  Only attention data movement benefits; the FFN path
+is untouched, which is why HyFlexPIM's advantage over SPRINT is largest at
+short sequence lengths (Section 6.3.2).
+"""
+
+from __future__ import annotations
+
+from repro.arch.baselines.base import BaselineModel
+from repro.arch.energy import EnergyBreakdown
+from repro.models.configs import ModelSpec
+
+__all__ = ["SprintBaseline"]
+
+
+class SprintBaseline(BaselineModel):
+    name = "sprint"
+
+    def linear_layers_energy(self, spec: ModelSpec, seq_len: int) -> EnergyBreakdown:
+        c = self.costs
+        macs = self._linear_macs(spec, seq_len)
+        weight_bytes = self._weight_bytes(spec)
+        breakdown = EnergyBreakdown()
+        # Weights read from on-chip RRAM storage each inference pass.
+        breakdown.add("rram_access", weight_bytes * c.rram_storage_read_pj_per_byte)
+        breakdown.add("sram_access", macs * c.sram_pj_per_byte)
+        breakdown.add("mac_digital", macs * c.mac_int8_pj)
+        return breakdown
+
+    def end_to_end_energy(self, spec: ModelSpec, seq_len: int) -> EnergyBreakdown:
+        c = self.costs
+        breakdown = self.linear_layers_energy(spec, seq_len)
+        attn_macs = self._attention_macs(spec, seq_len)
+        kept = c.sprint_token_keep_ratio
+        # In-memory MSB-4b pruning pass: one cheap analog scan over Q.K.
+        breakdown.add("rram_access", 0.25 * attn_macs * c.rram_storage_read_pj_per_byte / 8)
+        breakdown.add("mac_digital", kept * attn_macs * c.mac_int8_pj)
+        breakdown.add("sram_access", kept * attn_macs * c.sram_pj_per_byte)
+        softmax_elems = float(spec.num_heads * seq_len**2 * spec.num_layers) * kept
+        breakdown.add("mac_digital", 5 * softmax_elems * c.mac_int8_pj)
+        return breakdown
+
+    def inference_time_s(self, spec: ModelSpec, seq_len: int, mode: str = "prefill") -> float:
+        return self._streaming_time_s(
+            spec,
+            seq_len,
+            mode,
+            self.costs.rram_storage_bandwidth_gbps,
+            keep_ratio=self.costs.sprint_token_keep_ratio,
+        )

@@ -1,0 +1,169 @@
+"""Hardware configuration constants (paper Table 2 and Section 5.4).
+
+Component area and power are the paper's reported 65 nm numbers (derived by
+the authors from NVSIM, the ARM memory compiler and a synthesized SFU, all
+scaled per Stillmaker & Baas).  We consume them as the calibrated component
+library of the analytic energy/latency/area models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ComponentSpec",
+    "ModuleSpec",
+    "ANALOG_MODULE",
+    "DIGITAL_MODULE",
+    "HardwareConfig",
+    "DEFAULT_HARDWARE",
+]
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One Table 2 row: a peripheral component inside a PIM module."""
+
+    name: str
+    area_mm2: float
+    power_mw: float
+    count: int  # instances per module
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """A PIM module: its components plus the per-PU replication factor."""
+
+    name: str
+    components: tuple[ComponentSpec, ...]
+    modules_per_pu: int
+
+    def module_area_mm2(self) -> float:
+        return sum(c.area_mm2 for c in self.components)
+
+    def module_power_mw(self) -> float:
+        return sum(c.power_mw for c in self.components)
+
+    def pu_area_mm2(self) -> float:
+        return self.module_area_mm2() * self.modules_per_pu
+
+    def pu_power_mw(self) -> float:
+        return self.module_power_mw() * self.modules_per_pu
+
+    def component(self, name: str) -> ComponentSpec:
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(f"no component {name!r} in module {self.name}")
+
+
+# Table 2, "Analog RRAM Module" block (area mm^2, power mW, count).
+ANALOG_MODULE = ModuleSpec(
+    name="analog",
+    modules_per_pu=24,
+    components=(
+        ComponentSpec("rram_array", 0.048, 60.78, 512, "64x128 bitcells, 1-b/2-b"),
+        ComponentSpec("ir", 0.00065, 0.13, 512, "input register, 64 B each"),
+        ComponentSpec("or", 0.00129, 0.53, 512, "output register, 128 B each"),
+        ComponentSpec("wl_drv", 0.02, 297.71, 64 * 512, "1-b wordline drivers"),
+        ComponentSpec("adc", 0.30, 512.00, 512, "6-b/7-b reconfigurable SAR"),
+        ComponentSpec("s_and_a", 0.10, 59.54, 512, "shift & adder"),
+        ComponentSpec("s_and_h", 6e-5, 12e-6, 512, "sample & hold"),
+    ),
+)
+
+# Table 2, "Digital RRAM Module" block.
+DIGITAL_MODULE = ModuleSpec(
+    name="digital",
+    modules_per_pu=8,
+    components=(
+        ComponentSpec("rram_array", 2.86, 3890.02, 256, "1024x1024 bitcells, 1-b"),
+        ComponentSpec("ir", 0.0031, 0.76, 256, "input register, 1 KB each"),
+        ComponentSpec("or", 0.0032, 1.65, 256, "output register, 1 KB each"),
+        ComponentSpec("wl_drv", 0.14, 2381.64, 1024 * 256, "1-b wordline drivers"),
+        ComponentSpec("s_and_a", 0.21, 119.08, 1024, "shift & adder"),
+        ComponentSpec("s_and_h", 13e-5, 23e-6, 1024, "sample & hold"),
+        ComponentSpec("sfu", 4.79, 138.89, 1, "special function unit, 256 inputs"),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Chip-level constants (Fig. 5 and Section 5.4)."""
+
+    num_pus: int = 24
+    clock_hz: float = 1e9  # 1 GHz core clock (SFU synthesis frequency)
+    adc_sample_rate_hz: float = 1.28e9
+    conversion_window_ns: float = 100.0  # 128 bitlines per window
+    analog: ModuleSpec = field(default=ANALOG_MODULE)
+    digital: ModuleSpec = field(default=DIGITAL_MODULE)
+    # Interconnect (Section 3.1 / 5.4).
+    oci_gbps: float = 1000.0  # inner/inter-PU on-chip interconnect
+    pcie_gbps: float = 128.0  # PCIe-6.0 chip-to-chip
+    # Crossbar geometry.
+    array_rows: int = 64
+    array_cols: int = 128
+    arrays_per_analog_module: int = 512
+    digital_array_rows: int = 1024
+    digital_array_cols: int = 1024
+    arrays_per_digital_module: int = 256
+    weight_bits: int = 8
+    input_bits: int = 8
+    # Paper's digital-PIM cost constants (Section 3.1).
+    nor_per_int8_mult: int = 64
+    columns_per_nor: int = 3
+    cycles_per_row: int = 5
+    # Digital-PIM MAC energy: 64 NOR ops x ~31 fJ per MAGIC-style NOR
+    # (memristive-logic literature; each NOR flips at most one cell).
+    # Table 2's module power assumes all arrays active and cannot be
+    # divided by the NOR-balanced op rate (~20 % array utilization).
+    digital_pim_mac_pj: float = 2.0
+    # RRAM write energy per SET pulse: 1.62 V x ~100 uA x ~10 ns ~= 1.6 pJ.
+    slc_write_pj_per_bit: float = 1.6
+    mlc_write_pulses: int = 4  # iterative program-verify for 2-b MLC
+
+    # -- derived quantities ----------------------------------------------------
+    def pu_area_mm2(self) -> float:
+        return self.analog.pu_area_mm2() + self.digital.pu_area_mm2()
+
+    def chip_area_mm2(self) -> float:
+        return self.num_pus * self.pu_area_mm2()
+
+    def pu_power_mw(self) -> float:
+        return self.analog.pu_power_mw() + self.digital.pu_power_mw()
+
+    def analog_arrays_per_pu(self) -> int:
+        return self.analog.modules_per_pu * self.arrays_per_analog_module
+
+    def analog_slc_capacity_bytes_per_pu(self) -> int:
+        cells = self.analog_arrays_per_pu() * self.array_rows * self.array_cols
+        return cells // 8
+
+    def digital_capacity_bytes_per_pu(self) -> int:
+        cells = (
+            self.digital.modules_per_pu
+            * self.arrays_per_digital_module
+            * self.digital_array_rows
+            * self.digital_array_cols
+        )
+        return cells // 8
+
+    def chip_analog_slc_capacity_bytes(self) -> int:
+        return self.num_pus * self.analog_slc_capacity_bytes_per_pu()
+
+    def chip_digital_capacity_bytes(self) -> int:
+        return self.num_pus * self.digital_capacity_bytes_per_pu()
+
+    def digital_ops_per_cycle_per_module(self) -> float:
+        """Section 3.1's throughput balance: 256·1024/(64·3)/5 ≈ 273."""
+        return (
+            self.arrays_per_digital_module
+            * self.digital_array_cols
+            / (self.nor_per_int8_mult * self.columns_per_nor)
+            / self.cycles_per_row
+        )
+
+
+DEFAULT_HARDWARE = HardwareConfig()

@@ -1,0 +1,65 @@
+"""Interconnect models: OCI, global bus and PCIe-6.0 (Section 3.1 / 5.4).
+
+The paper's scalability argument rests on three transfer paths:
+
+- the inner-unit shared bus moving stage outputs between modules in a PU;
+- the 1000 GB/s on-chip interconnect (OCI) aggregating partial sums
+  between collaborating PUs (<3 KB per PU, ~24 cycles);
+- the 128 GB/s PCIe-6.0 link carrying one hidden vector (0.75-2 KB) between
+  cascaded chips, 6-16 cycles per layer handoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Link", "OCI_LINK", "PCIE6_LINK", "transfer_cycles", "partial_sum_aggregation_cycles", "hidden_vector_handoff_cycles"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A bandwidth-limited transfer path."""
+
+    name: str
+    bandwidth_gbps: float  # GB/s
+    launch_overhead_cycles: float = 0.0
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / (self.bandwidth_gbps * 1e9)
+
+
+OCI_LINK = Link("oci", bandwidth_gbps=1000.0)
+PCIE6_LINK = Link("pcie6", bandwidth_gbps=128.0, launch_overhead_cycles=2.0)
+
+
+def transfer_cycles(link: Link, num_bytes: float, clock_hz: float = 1e9) -> float:
+    """Cycles at ``clock_hz`` to move ``num_bytes`` over ``link``."""
+    return link.transfer_seconds(num_bytes) * clock_hz + link.launch_overhead_cycles
+
+
+def partial_sum_aggregation_cycles(
+    num_pus: int, bytes_per_pu: float = 3 * 1024, clock_hz: float = 1e9
+) -> float:
+    """Tensor-parallel partial-sum aggregation over the OCI.
+
+    The paper quotes <3 KB per PU and ~24 cycles of latency overhead for the
+    global aggregation (Section 3.1, cases 1-2).
+    """
+    if num_pus < 1:
+        raise ValueError("num_pus must be >= 1")
+    if num_pus == 1:
+        return 0.0
+    return transfer_cycles(OCI_LINK, (num_pus - 1) * bytes_per_pu, clock_hz)
+
+
+def hidden_vector_handoff_cycles(
+    hidden_dim: int, bytes_per_element: int = 1, clock_hz: float = 1e9
+) -> float:
+    """Chip-to-chip hidden-state transfer over PCIe-6.0 (case 3).
+
+    For hidden dims of 768-2048 at INT8 this is 0.75-2 KB, i.e. the paper's
+    6-16 cycle range.
+    """
+    return transfer_cycles(PCIE6_LINK, hidden_dim * bytes_per_element, clock_hz)

@@ -1,0 +1,130 @@
+"""Comparison orchestration: the quantities behind Figs. 14, 15 and 16.
+
+``PerformanceComparison`` evaluates HyFlexPIM (at a set of SLC rates)
+against the five Section 5.3 baselines and emits the normalized tables the
+paper plots:
+
+- :meth:`linear_energy_table` — Fig. 14: linear-layer energy, normalized to
+  the non-PIM baseline (=100), per sequence length and SLC rate;
+- :meth:`end_to_end_energy` / :meth:`energy_improvement` — Fig. 15;
+- :meth:`speedup_table` — Fig. 16: throughput ratios vs ASADI† and SPRINT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.baselines import (
+    AsadiBaseline,
+    AsadiDaggerBaseline,
+    BaselineCosts,
+    NmpBaseline,
+    NonPimBaseline,
+    SprintBaseline,
+)
+from repro.arch.config import DEFAULT_HARDWARE, HardwareConfig
+from repro.arch.energy import EnergyBreakdown, HyFlexPimEnergyModel
+from repro.arch.latency import HyFlexPimLatencyModel
+from repro.models.configs import ModelSpec
+
+__all__ = ["PerformanceComparison", "FIG14_SEQ_LENS", "FIG14_SLC_RATES"]
+
+FIG14_SEQ_LENS = (128, 512, 1024, 2048, 4096, 8192)
+FIG14_SLC_RATES = (0.05, 0.10, 0.30, 0.40, 0.50)
+
+
+@dataclass
+class PerformanceComparison:
+    """HyFlexPIM vs baselines on one model spec."""
+
+    hardware: HardwareConfig = field(default_factory=lambda: DEFAULT_HARDWARE)
+    costs: BaselineCosts = field(default_factory=BaselineCosts)
+
+    def __post_init__(self) -> None:
+        self.energy_model = HyFlexPimEnergyModel(self.hardware)
+        self.latency_model = HyFlexPimLatencyModel(self.hardware)
+        self.baselines = {
+            "asadi-dagger": AsadiDaggerBaseline(self.costs, self.hardware),
+            "asadi": AsadiBaseline(self.costs, self.hardware),
+            "nmp": NmpBaseline(self.costs),
+            "sprint": SprintBaseline(self.costs),
+            "non-pim": NonPimBaseline(self.costs),
+        }
+
+    # ------------------------------------------------------------------
+    # Fig. 14
+    # ------------------------------------------------------------------
+    def linear_energy_table(
+        self,
+        spec: ModelSpec,
+        seq_lens: tuple[int, ...] = FIG14_SEQ_LENS,
+        slc_rates: tuple[float, ...] = FIG14_SLC_RATES,
+    ) -> dict[int, dict[str, float]]:
+        """Normalized linear-layer energy (non-PIM = 100) per sequence length.
+
+        Keys of the inner dict: ``hyflexpim@<rate>`` plus baseline names.
+        """
+        table: dict[int, dict[str, float]] = {}
+        for n in seq_lens:
+            reference = self.baselines["non-pim"].linear_layers_energy(spec, n).total_pj()
+            row: dict[str, float] = {}
+            for rate in slc_rates:
+                ours = self.energy_model.linear_layers_energy(spec, n, rate).total_pj()
+                row[f"hyflexpim@{int(rate * 100)}%"] = 100.0 * ours / reference
+            for name, model in self.baselines.items():
+                row[name] = 100.0 * model.linear_layers_energy(spec, n).total_pj() / reference
+            table[n] = row
+        return table
+
+    # ------------------------------------------------------------------
+    # Fig. 15
+    # ------------------------------------------------------------------
+    def end_to_end_energy(
+        self, spec: ModelSpec, seq_len: int, slc_rate: float
+    ) -> EnergyBreakdown:
+        return self.energy_model.end_to_end_energy(spec, seq_len, slc_rate)
+
+    def energy_improvement(
+        self, spec: ModelSpec, seq_len: int, slc_rate: float
+    ) -> dict[str, float]:
+        """End-to-end energy of each baseline relative to HyFlexPIM (x)."""
+        ours = self.end_to_end_energy(spec, seq_len, slc_rate).total_pj()
+        return {
+            name: model.end_to_end_energy(spec, seq_len).total_pj() / ours
+            for name, model in self.baselines.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Fig. 16
+    # ------------------------------------------------------------------
+    def hyflexpim_time_s(
+        self, spec: ModelSpec, seq_len: int, slc_rate: float, mode: str = "prefill"
+    ) -> float:
+        return self.latency_model.inference_time_s(spec, seq_len, slc_rate, mode=mode)
+
+    def speedup_table(
+        self,
+        spec: ModelSpec,
+        seq_lens: tuple[int, ...] = FIG14_SEQ_LENS,
+        slc_rates: tuple[float, ...] = FIG14_SLC_RATES,
+        versus: tuple[str, ...] = ("asadi-dagger", "sprint"),
+        mode: str = "prefill",
+    ) -> dict[str, dict[int, dict[float, float]]]:
+        """Throughput ratio (baseline time / HyFlexPIM time) per N and rate.
+
+        ``mode="decode"`` evaluates the generation regime (GPT-2/WikiText-2),
+        where weight-streaming baselines become bandwidth-bound and the
+        paper's largest speedups appear.
+        """
+        table: dict[str, dict[int, dict[float, float]]] = {}
+        for name in versus:
+            baseline = self.baselines[name]
+            per_n: dict[int, dict[float, float]] = {}
+            for n in seq_lens:
+                base_time = baseline.inference_time_s(spec, n, mode=mode)
+                per_n[n] = {
+                    rate: base_time / self.hyflexpim_time_s(spec, n, rate, mode=mode)
+                    for rate in slc_rates
+                }
+            table[name] = per_n
+        return table

@@ -1,0 +1,179 @@
+"""Tensor/pipeline parallelism scalability model (Fig. 17, Section 6.3.5).
+
+Three scaling regimes from Section 3.1:
+
+1. **Tensor parallelism within a chip** — small models (GPT-2: 12 layers on
+   24 PUs) assign multiple PUs per layer; throughput scales almost linearly,
+   shaved by the OCI partial-sum aggregation (paper: 1.99x for 2 PUs).
+2. **Multi-PU layers** — large hidden dims (Llama3) exceed one PU's arrays,
+   forcing >= 2 PUs per layer for capacity alone.
+3. **Pipeline parallelism across chips** — models that exceed one chip
+   cascade over PCIe-6.0, paying one hidden-vector handoff per chip
+   boundary (paper: quad/octa chips reach 1.96x / 3.65x over dual).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.config import DEFAULT_HARDWARE, HardwareConfig
+from repro.arch.interconnect import (
+    hidden_vector_handoff_cycles,
+    partial_sum_aggregation_cycles,
+)
+from repro.arch.latency import HyFlexPimLatencyModel
+from repro.arch.workload import memory_footprint_bytes
+from repro.models.configs import ModelSpec
+from repro.svd.decompose import hard_threshold_rank
+
+__all__ = ["ScalingReport", "ScalabilityModel"]
+
+
+@dataclass
+class ScalingReport:
+    """Memory demand and normalized throughput for one configuration."""
+
+    model: str
+    num_chips: int
+    pus_per_layer: int
+    analog_demand_gb: float
+    digital_demand_gb: float
+    fits: bool
+    tokens_per_second: float
+    normalized_throughput: float = 1.0
+
+
+@dataclass
+class ScalabilityModel:
+    """Fig. 17 analysis: capacity requirements and multi-chip throughput."""
+
+    hardware: HardwareConfig = field(default_factory=lambda: DEFAULT_HARDWARE)
+
+    def __post_init__(self) -> None:
+        self.latency = HyFlexPimLatencyModel(self.hardware)
+
+    # ------------------------------------------------------------------
+    def memory_demand(self, spec: ModelSpec, seq_len: int) -> dict[str, float]:
+        """Analog (weights) and digital (dynamic) RRAM demand in bytes.
+
+        Attention-score rows stream through the softmax pipeline without
+        being persisted, so the digital demand is the KV cache plus small
+        per-layer activation buffers.
+        """
+        footprint = memory_footprint_bytes(spec, seq_len)
+        activation_buffers = 2.0 * spec.num_layers * spec.d_model * 1024
+        return {
+            "analog_bytes": footprint["analog_weights"],
+            "digital_bytes": footprint["kv_cache"] + activation_buffers,
+        }
+
+    def min_pus_per_layer(self, spec: ModelSpec, slc_rate: float) -> int:
+        """PUs a single layer needs for array capacity alone (case 1)."""
+        demand = self.latency.layer_array_demand(spec, slc_rate)
+        per_pu = self.hardware.analog_arrays_per_pu()
+        return max(1, -(-demand // per_pu))
+
+    def min_chips(self, spec: ModelSpec, slc_rate: float, seq_len: int) -> int:
+        """Chips needed to hold every layer at once (pipeline parallelism)."""
+        pus_per_layer = self.min_pus_per_layer(spec, slc_rate)
+        total_pus = spec.num_layers * pus_per_layer
+        by_compute = -(-total_pus // self.hardware.num_pus)
+        demand = self.memory_demand(spec, seq_len)
+        by_digital = -(
+            -int(demand["digital_bytes"]) // self.hardware.chip_digital_capacity_bytes()
+        )
+        return max(1, by_compute, by_digital)
+
+    # ------------------------------------------------------------------
+    def throughput(
+        self,
+        spec: ModelSpec,
+        seq_len: int,
+        slc_rate: float,
+        num_chips: int,
+        pus_per_layer: int | None = None,
+    ) -> ScalingReport:
+        """Tokens/s of a multi-PU / multi-chip deployment.
+
+        Throughput follows the weights-stationary concurrency model of
+        :class:`HyFlexPimLatencyModel`, restricted to the PU budget this
+        configuration devotes to the model (``pus_per_layer x num_layers``),
+        minus the OCI partial-sum aggregation (tensor parallelism) and the
+        PCIe hidden-vector handoff between chips (pipeline parallelism).
+        """
+        hw = self.hardware
+        min_ppl = self.min_pus_per_layer(spec, slc_rate)
+        if pus_per_layer is None:
+            total_pus = num_chips * hw.num_pus
+            pus_per_layer = max(min_ppl, total_pus // spec.num_layers)
+        pus_per_layer = max(pus_per_layer, min_ppl)
+
+        from repro.arch.latency import GEMV_STAGES_PER_LAYER
+
+        pus_in_use = min(pus_per_layer * spec.num_layers, num_chips * hw.num_pus)
+        budget_arrays = pus_in_use * hw.analog_arrays_per_pu()
+        demand_arrays = self.latency.model_array_demand(spec, slc_rate)
+        concurrency = budget_arrays / demand_arrays
+
+        stage_s = GEMV_STAGES_PER_LAYER * self.latency.gemv_wave_s()
+        # Tensor-parallel partial-sum aggregation per layer (cases 1-2).
+        if pus_per_layer > 1:
+            stage_s += (
+                partial_sum_aggregation_cycles(pus_per_layer, clock_hz=hw.clock_hz)
+                / hw.clock_hz
+            )
+        # Pipeline handoff between chips (case 3), amortized per layer.
+        if num_chips > 1:
+            layers_per_chip = max(1, -(-spec.num_layers // num_chips))
+            handoff_s = (
+                hidden_vector_handoff_cycles(spec.d_model, clock_hz=hw.clock_hz)
+                / hw.clock_hz
+            )
+            stage_s += handoff_s / layers_per_chip
+
+        analog_rate = concurrency / stage_s
+
+        attn_macs_per_token = 2.0 * seq_len * spec.d_model * spec.num_layers
+        digital_rate_ops = (
+            hw.digital_ops_per_cycle_per_module()
+            * hw.digital.modules_per_pu
+            * pus_in_use
+            * hw.clock_hz
+        )
+        digital_rate = digital_rate_ops / attn_macs_per_token
+        tokens_per_second = min(analog_rate, digital_rate)
+
+        demand = self.memory_demand(spec, seq_len)
+        analog_capacity = num_chips * hw.chip_analog_slc_capacity_bytes()
+        digital_capacity = num_chips * hw.chip_digital_capacity_bytes()
+        effective_bits_per_cell = slc_rate + 2.0 * (1.0 - slc_rate)
+        fits = (
+            spec.num_layers * pus_per_layer <= num_chips * hw.num_pus
+            and demand["digital_bytes"] <= digital_capacity
+            and demand["analog_bytes"] <= analog_capacity * effective_bits_per_cell
+        )
+        return ScalingReport(
+            model=spec.name,
+            num_chips=num_chips,
+            pus_per_layer=pus_per_layer,
+            analog_demand_gb=demand["analog_bytes"] / 1e9,
+            digital_demand_gb=demand["digital_bytes"] / 1e9,
+            fits=fits,
+            tokens_per_second=tokens_per_second,
+        )
+
+    def scaling_curve(
+        self,
+        spec: ModelSpec,
+        seq_len: int,
+        slc_rate: float,
+        chip_counts: tuple[int, ...],
+    ) -> list[ScalingReport]:
+        """Fig. 17's series: throughput vs chip count, normalized to the first."""
+        reports = [
+            self.throughput(spec, seq_len, slc_rate, chips) for chips in chip_counts
+        ]
+        base = reports[0].tokens_per_second
+        for report in reports:
+            report.normalized_throughput = report.tokens_per_second / base
+        return reports

@@ -1,0 +1,121 @@
+"""Transformer workload model: per-stage operation counts (Fig. 2).
+
+Counts multiply-accumulate *operations* (1 MAC = 2 ops, matching the "number
+of computations" convention of accelerator papers) for every computation
+stage of a Transformer layer at a given sequence length, for both the
+encoder/prefill regime (matrix-matrix) and the decode regime (vector-matrix
+with a KV cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.configs import ModelSpec
+
+__all__ = ["STAGES", "StageOps", "stage_op_counts", "total_ops", "linear_stage_ops", "attention_stage_ops", "memory_footprint_bytes"]
+
+#: Stage names in the order Fig. 2 lists them.
+STAGES = (
+    "qkv_fc",  # "Token Generation (FC)": W_Q/W_K/W_V projections
+    "score_qk",  # Q x K^T
+    "softmax",  # softmax(S) = P
+    "pv",  # P x V
+    "proj_fc",  # output projection
+    "ffn1",
+    "ffn2",
+)
+
+LINEAR_STAGES = ("qkv_fc", "proj_fc", "ffn1", "ffn2")
+ATTENTION_STAGES = ("score_qk", "pv")
+
+
+@dataclass(frozen=True)
+class StageOps:
+    """Operation counts per stage for a whole model at one sequence length."""
+
+    counts: dict[str, float]
+
+    def total(self) -> float:
+        return float(sum(self.counts.values()))
+
+    def linear_total(self) -> float:
+        return float(sum(self.counts[s] for s in LINEAR_STAGES))
+
+    def attention_total(self) -> float:
+        return float(sum(self.counts[s] for s in ATTENTION_STAGES))
+
+    def nonlinear_total(self) -> float:
+        return float(self.counts["softmax"])
+
+
+def stage_op_counts(spec: ModelSpec, seq_len: int, mode: str = "prefill") -> StageOps:
+    """Per-stage op counts (2 x MACs) for the full model.
+
+    ``mode="prefill"`` processes ``seq_len`` tokens at once (encoder or the
+    decoder's prefill phase); ``mode="decode"`` generates ``seq_len`` tokens
+    one at a time against a growing KV cache — the paper notes the PIM
+    operations are identical, only the input width differs.
+    """
+    if seq_len < 1:
+        raise ValueError(f"seq_len must be positive, got {seq_len}")
+    if mode not in ("prefill", "decode"):
+        raise ValueError(f"mode must be 'prefill' or 'decode', got {mode!r}")
+    d, ff, n_layers = spec.d_model, spec.d_ff, spec.num_layers
+    n = seq_len
+
+    if mode == "prefill":
+        token_factor = n  # every token hits every weight matrix
+        # Attention score/context are N x N x d per layer (all heads jointly).
+        attn_macs = n * n * d
+        softmax_elems = spec.num_heads * n * n
+    else:
+        token_factor = n
+        # Token t attends to t cached positions: sum_t t ~= n(n+1)/2.
+        attn_macs = (n * (n + 1) // 2) * d
+        softmax_elems = spec.num_heads * (n * (n + 1) // 2)
+
+    counts = {
+        "qkv_fc": 2.0 * 3 * token_factor * d * d * n_layers,
+        "score_qk": 2.0 * attn_macs * n_layers,
+        "softmax": float(5 * softmax_elems * n_layers),  # exp/sum/div pipeline
+        "pv": 2.0 * attn_macs * n_layers,
+        "proj_fc": 2.0 * token_factor * d * d * n_layers,
+        "ffn1": 2.0 * token_factor * d * ff * n_layers,
+        "ffn2": 2.0 * token_factor * ff * d * n_layers,
+    }
+    return StageOps(counts=counts)
+
+
+def total_ops(spec: ModelSpec, seq_len: int, mode: str = "prefill") -> float:
+    return stage_op_counts(spec, seq_len, mode).total()
+
+
+def linear_stage_ops(spec: ModelSpec, seq_len: int, mode: str = "prefill") -> float:
+    return stage_op_counts(spec, seq_len, mode).linear_total()
+
+
+def attention_stage_ops(spec: ModelSpec, seq_len: int, mode: str = "prefill") -> float:
+    return stage_op_counts(spec, seq_len, mode).attention_total()
+
+
+def memory_footprint_bytes(
+    spec: ModelSpec, seq_len: int, include_kv_cache: bool = True
+) -> dict[str, float]:
+    """Model memory demand: static weights (INT8) plus dynamic KV/intermediates.
+
+    Used by the Fig. 17 scalability analysis: HyFlexPIM must hold everything
+    in RRAM, so capacity requirements grow with sequence length.
+    """
+    weights = float(spec.static_weight_bytes())
+    kv_cache = 0.0
+    if include_kv_cache:
+        # K and V per layer per token, INT8 elements.
+        kv_cache = float(2 * spec.num_layers * seq_len * spec.d_model)
+    scores = float(spec.num_layers * spec.num_heads * seq_len * seq_len)
+    return {
+        "analog_weights": weights,
+        "kv_cache": kv_cache,
+        "attention_scores": scores,
+        "total": weights + kv_cache + scores,
+    }

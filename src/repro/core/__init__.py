@@ -1,0 +1,5 @@
+"""HyFlexPIM public API: compile -> deploy -> evaluate."""
+
+from repro.core.hyflexpim import CompiledModel, HyFlexPim
+
+__all__ = ["CompiledModel", "HyFlexPim"]

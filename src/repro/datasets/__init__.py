@@ -1,0 +1,45 @@
+"""Synthetic workloads replacing GLUE, WikiText-2, PTB and CIFAR-10.
+
+See DESIGN.md ("Substitutions") for why each stand-in preserves the
+behaviour the paper's experiments measure.
+"""
+
+from repro.datasets.synthetic_glue import (
+    CLS_TOKEN,
+    GLUE_TASKS,
+    GlueTaskData,
+    GlueTaskSpec,
+    SEP_TOKEN,
+    make_glue_task,
+)
+from repro.datasets.synthetic_lm import (
+    LMCorpusSpec,
+    MarkovCorpus,
+    make_lm_corpus,
+    ptb_like,
+    wikitext2_like,
+)
+from repro.datasets.synthetic_vision import (
+    CIFAR10_LIKE_CLASSES,
+    VisionData,
+    VisionSpec,
+    make_vision_dataset,
+)
+
+__all__ = [
+    "CIFAR10_LIKE_CLASSES",
+    "CLS_TOKEN",
+    "GLUE_TASKS",
+    "GlueTaskData",
+    "GlueTaskSpec",
+    "LMCorpusSpec",
+    "MarkovCorpus",
+    "SEP_TOKEN",
+    "VisionData",
+    "VisionSpec",
+    "make_glue_task",
+    "make_lm_corpus",
+    "make_vision_dataset",
+    "ptb_like",
+    "wikitext2_like",
+]

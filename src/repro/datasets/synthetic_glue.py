@@ -1,0 +1,226 @@
+"""Synthetic stand-ins for the seven GLUE tasks used in the paper (Fig. 12).
+
+The paper evaluates BERT on cola, mrpc, qnli, qqp, rte, sst-2 and sts-b.
+Those corpora are unavailable offline, so each task is replaced by a seeded
+procedural generator that preserves the *shape* of the task:
+
+===========  =====================================  =====================
+task         structure                              metric (paper's)
+===========  =====================================  =====================
+cola         grammar-valid vs corrupted sequences   Matthews correlation
+mrpc         sentence-pair paraphrase detection     accuracy
+qnli         question/answer containment            accuracy
+qqp          near-duplicate pair detection          accuracy
+rte          small-sample entailment                accuracy
+sst2         token-sentiment majority               accuracy
+stsb         graded pair similarity (regression)    Pearson correlation
+===========  =====================================  =====================
+
+All generators emit integer token sequences with the conventions
+``CLS = 0`` at position 0 and ``SEP = 1`` between pair segments, matching the
+input format of :class:`repro.nn.EncoderClassifier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.data import ArrayDataset
+
+__all__ = ["GlueTaskSpec", "GLUE_TASKS", "make_glue_task", "GlueTaskData"]
+
+CLS_TOKEN = 0
+SEP_TOKEN = 1
+_FIRST_CONTENT_TOKEN = 2
+
+
+@dataclass(frozen=True)
+class GlueTaskSpec:
+    """Descriptor of a synthetic GLUE-like task."""
+
+    name: str
+    kind: str  # "single", "pair" or "regression"
+    num_classes: int
+    vocab_size: int
+    seq_len: int
+    train_size: int
+    test_size: int
+    metric: str  # "accuracy", "matthews" or "pearson"
+
+
+GLUE_TASKS: dict[str, GlueTaskSpec] = {
+    "cola": GlueTaskSpec("cola", "single", 2, 40, 20, 480, 160, "matthews"),
+    "mrpc": GlueTaskSpec("mrpc", "pair", 2, 40, 22, 480, 160, "accuracy"),
+    "qnli": GlueTaskSpec("qnli", "pair", 2, 48, 22, 480, 160, "accuracy"),
+    "qqp": GlueTaskSpec("qqp", "pair", 2, 48, 22, 560, 160, "accuracy"),
+    "rte": GlueTaskSpec("rte", "pair", 2, 40, 22, 320, 120, "accuracy"),
+    "sst2": GlueTaskSpec("sst2", "single", 2, 40, 20, 480, 160, "accuracy"),
+    "stsb": GlueTaskSpec("stsb", "regression", 1, 40, 22, 480, 160, "pearson"),
+}
+
+
+@dataclass
+class GlueTaskData:
+    """Train/test split plus the task spec."""
+
+    spec: GlueTaskSpec
+    train: ArrayDataset
+    test: ArrayDataset
+
+
+def _content_rng_tokens(rng: np.random.Generator, n: int, vocab: int) -> np.ndarray:
+    return rng.integers(_FIRST_CONTENT_TOKEN, vocab, size=n)
+
+
+def _make_cola(spec: GlueTaskSpec, rng: np.random.Generator, n: int):
+    """Valid = strictly 'grammatical' alternating parity run; invalid = broken."""
+    body = spec.seq_len - 1
+    inputs = np.zeros((n, spec.seq_len), dtype=np.int64)
+    labels = np.zeros(n, dtype=np.int64)
+    half_vocab = (spec.vocab_size - _FIRST_CONTENT_TOKEN) // 2
+    for i in range(n):
+        valid = rng.random() < 0.5
+        labels[i] = int(valid)
+        # "Grammar": even positions draw from the low half of the vocab,
+        # odd positions from the high half.  Corruption flips several slots.
+        tokens = np.empty(body, dtype=np.int64)
+        for pos in range(body):
+            low = pos % 2 == 0
+            base = _FIRST_CONTENT_TOKEN if low else _FIRST_CONTENT_TOKEN + half_vocab
+            tokens[pos] = base + rng.integers(0, half_vocab)
+        if not valid:
+            flips = rng.choice(body, size=max(2, body // 4), replace=False)
+            for pos in flips:
+                low = pos % 2 == 0
+                base = _FIRST_CONTENT_TOKEN + (half_vocab if low else 0)
+                tokens[pos] = base + rng.integers(0, half_vocab)
+        inputs[i, 0] = CLS_TOKEN
+        inputs[i, 1:] = tokens
+    return inputs, labels
+
+
+def _make_pair_task(
+    spec: GlueTaskSpec,
+    rng: np.random.Generator,
+    n: int,
+    positive_noise: float,
+):
+    """Pair tasks: label 1 iff segment B is a (noisy) permutation of segment A."""
+    seg = (spec.seq_len - 2) // 2
+    inputs = np.zeros((n, spec.seq_len), dtype=np.int64)
+    labels = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        first = _content_rng_tokens(rng, seg, spec.vocab_size)
+        positive = rng.random() < 0.5
+        labels[i] = int(positive)
+        if positive:
+            second = rng.permutation(first).copy()
+            n_noise = int(round(positive_noise * seg))
+            if n_noise:
+                idx = rng.choice(seg, size=n_noise, replace=False)
+                second[idx] = _content_rng_tokens(rng, n_noise, spec.vocab_size)
+        else:
+            second = _content_rng_tokens(rng, seg, spec.vocab_size)
+        row = np.concatenate([[CLS_TOKEN], first, [SEP_TOKEN], second])
+        inputs[i, : len(row)] = row
+    return inputs, labels
+
+
+def _make_qnli(spec: GlueTaskSpec, rng: np.random.Generator, n: int):
+    """Entailment: label 1 iff the 'question' token appears in the 'answer'."""
+    seg = (spec.seq_len - 2) // 2
+    inputs = np.zeros((n, spec.seq_len), dtype=np.int64)
+    labels = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        question = _content_rng_tokens(rng, seg, spec.vocab_size)
+        answer = _content_rng_tokens(rng, seg, spec.vocab_size)
+        key = question[0]
+        positive = rng.random() < 0.5
+        labels[i] = int(positive)
+        if positive:
+            answer[rng.integers(0, seg)] = key
+        else:
+            answer[answer == key] = (key + 1 - _FIRST_CONTENT_TOKEN) % (
+                spec.vocab_size - _FIRST_CONTENT_TOKEN
+            ) + _FIRST_CONTENT_TOKEN
+        row = np.concatenate([[CLS_TOKEN], question, [SEP_TOKEN], answer])
+        inputs[i, : len(row)] = row
+    return inputs, labels
+
+
+def _make_sst2(spec: GlueTaskSpec, rng: np.random.Generator, n: int):
+    """Sentiment: positive/negative token pools; label = majority pool."""
+    body = spec.seq_len - 1
+    pool = spec.vocab_size - _FIRST_CONTENT_TOKEN
+    positive_pool = np.arange(_FIRST_CONTENT_TOKEN, _FIRST_CONTENT_TOKEN + pool // 2)
+    negative_pool = np.arange(_FIRST_CONTENT_TOKEN + pool // 2, spec.vocab_size)
+    inputs = np.zeros((n, spec.seq_len), dtype=np.int64)
+    labels = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        positive = rng.random() < 0.5
+        labels[i] = int(positive)
+        majority = body // 2 + 1 + rng.integers(0, body // 4 + 1)
+        majority = min(majority, body)
+        main_pool = positive_pool if positive else negative_pool
+        other_pool = negative_pool if positive else positive_pool
+        tokens = np.concatenate(
+            [
+                rng.choice(main_pool, size=majority),
+                rng.choice(other_pool, size=body - majority),
+            ]
+        )
+        rng.shuffle(tokens)
+        inputs[i, 0] = CLS_TOKEN
+        inputs[i, 1:] = tokens
+    return inputs, labels
+
+
+def _make_stsb(spec: GlueTaskSpec, rng: np.random.Generator, n: int):
+    """Similarity regression: target in [0, 5] = 5 x token-overlap fraction."""
+    seg = (spec.seq_len - 2) // 2
+    inputs = np.zeros((n, spec.seq_len), dtype=np.int64)
+    targets = np.zeros(n, dtype=float)
+    for i in range(n):
+        first = _content_rng_tokens(rng, seg, spec.vocab_size)
+        n_keep = rng.integers(0, seg + 1)
+        second = first.copy()
+        rng.shuffle(second)
+        if n_keep < seg:
+            replace_idx = rng.choice(seg, size=seg - n_keep, replace=False)
+            second[replace_idx] = _content_rng_tokens(rng, seg - n_keep, spec.vocab_size)
+        overlap = len(np.intersect1d(first, second)) / seg
+        targets[i] = 5.0 * overlap
+        row = np.concatenate([[CLS_TOKEN], first, [SEP_TOKEN], second])
+        inputs[i, : len(row)] = row
+    return inputs, targets
+
+
+def make_glue_task(name: str, seed: int = 0) -> GlueTaskData:
+    """Generate the named synthetic GLUE task with seeded train/test splits."""
+    if name not in GLUE_TASKS:
+        raise KeyError(f"unknown GLUE task {name!r}; options: {sorted(GLUE_TASKS)}")
+    spec = GLUE_TASKS[name]
+    # zlib.crc32 is stable across processes (unlike hash(), which is
+    # randomized by PYTHONHASHSEED and would make datasets irreproducible).
+    import zlib
+
+    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % (2**16))
+    total = spec.train_size + spec.test_size
+
+    if name == "cola":
+        inputs, targets = _make_cola(spec, rng, total)
+    elif name in ("mrpc", "qqp", "rte"):
+        noise = {"mrpc": 0.1, "qqp": 0.15, "rte": 0.2}[name]
+        inputs, targets = _make_pair_task(spec, rng, total, positive_noise=noise)
+    elif name == "qnli":
+        inputs, targets = _make_qnli(spec, rng, total)
+    elif name == "sst2":
+        inputs, targets = _make_sst2(spec, rng, total)
+    else:  # stsb
+        inputs, targets = _make_stsb(spec, rng, total)
+
+    train = ArrayDataset(inputs[: spec.train_size], targets[: spec.train_size])
+    test = ArrayDataset(inputs[spec.train_size :], targets[spec.train_size :])
+    return GlueTaskData(spec=spec, train=train, test=test)

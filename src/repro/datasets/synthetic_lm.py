@@ -1,0 +1,123 @@
+"""Synthetic language-modelling corpora replacing WikiText-2 and PTB.
+
+The decoder experiments in the paper (GPT-2 on WikiText-2, Llama3 on PTB)
+measure evaluation *loss* under hybrid SLC/MLC mapping.  We replace the
+corpora with seeded Markov-chain text whose transition structure gives the
+model something real to learn: a trained decoder reaches a loss far below
+``log(vocab)`` and degrades smoothly as weight noise increases, which is the
+phenomenology the experiments need.
+
+Two presets mirror the paper's setups:
+
+- :func:`wikitext2_like` — larger vocabulary, longer sequences, moderately
+  peaked transitions (GPT-2 / WikiText-2, MSL 1024 in the paper, scaled down);
+- :func:`ptb_like` — smaller vocabulary, shorter sequences, sharper
+  transitions (Llama3 / PTB, MSL 100 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.data import ArrayDataset
+
+__all__ = ["LMCorpusSpec", "MarkovCorpus", "make_lm_corpus", "wikitext2_like", "ptb_like"]
+
+
+@dataclass(frozen=True)
+class LMCorpusSpec:
+    """Descriptor of a synthetic LM corpus."""
+
+    name: str
+    vocab_size: int
+    seq_len: int
+    train_sequences: int
+    test_sequences: int
+    branching: int  # plausible next-token count per state (peakedness)
+
+
+@dataclass
+class MarkovCorpus:
+    """Generated corpus: (inputs, targets) pairs for next-token prediction."""
+
+    spec: LMCorpusSpec
+    train: ArrayDataset
+    test: ArrayDataset
+    transition: np.ndarray  # (vocab, vocab) row-stochastic matrix
+
+    @property
+    def entropy_rate(self) -> float:
+        """Per-token entropy of the chain in nats (lower bound on test loss)."""
+        probs = self.transition
+        with np.errstate(divide="ignore", invalid="ignore"):
+            terms = np.where(probs > 0, -probs * np.log(probs), 0.0)
+        row_entropy = terms.sum(axis=1)
+        stationary = self._stationary()
+        return float(stationary @ row_entropy)
+
+    def _stationary(self) -> np.ndarray:
+        values, vectors = np.linalg.eig(self.transition.T)
+        idx = int(np.argmin(np.abs(values - 1.0)))
+        v = np.real(vectors[:, idx])
+        v = np.abs(v)
+        return v / v.sum()
+
+
+def _build_transition(spec: LMCorpusSpec, rng: np.random.Generator) -> np.ndarray:
+    """Row-stochastic matrix where each state strongly prefers a few successors."""
+    vocab = spec.vocab_size
+    transition = np.full((vocab, vocab), 1e-3)
+    for state in range(vocab):
+        successors = rng.choice(vocab, size=spec.branching, replace=False)
+        weights = rng.dirichlet(np.ones(spec.branching) * 0.6)
+        transition[state, successors] += weights * 10.0
+    transition /= transition.sum(axis=1, keepdims=True)
+    return transition
+
+
+def _sample_sequences(
+    transition: np.ndarray, n: int, seq_len: int, rng: np.random.Generator
+) -> np.ndarray:
+    vocab = transition.shape[0]
+    sequences = np.zeros((n, seq_len + 1), dtype=np.int64)
+    cumulative = transition.cumsum(axis=1)
+    state = rng.integers(0, vocab, size=n)
+    sequences[:, 0] = state
+    for t in range(1, seq_len + 1):
+        u = rng.random(n)
+        state = (cumulative[state] < u[:, None]).sum(axis=1)
+        state = np.minimum(state, vocab - 1)
+        sequences[:, t] = state
+    return sequences
+
+
+def make_lm_corpus(spec: LMCorpusSpec, seed: int = 0) -> MarkovCorpus:
+    """Build a seeded Markov corpus with aligned input/target next-token pairs."""
+    rng = np.random.default_rng(seed)
+    transition = _build_transition(spec, rng)
+    total = spec.train_sequences + spec.test_sequences
+    sequences = _sample_sequences(transition, total, spec.seq_len, rng)
+    inputs, targets = sequences[:, :-1], sequences[:, 1:]
+    train = ArrayDataset(inputs[: spec.train_sequences], targets[: spec.train_sequences])
+    test = ArrayDataset(inputs[spec.train_sequences :], targets[spec.train_sequences :])
+    return MarkovCorpus(spec=spec, train=train, test=test, transition=transition)
+
+
+def wikitext2_like(seed: int = 0) -> MarkovCorpus:
+    """WikiText-2 stand-in: wider vocabulary, flatter transitions."""
+    spec = LMCorpusSpec(
+        name="wikitext2", vocab_size=64, seq_len=24, train_sequences=320,
+        test_sequences=96, branching=6,
+    )
+    return make_lm_corpus(spec, seed=seed)
+
+
+def ptb_like(seed: int = 0) -> MarkovCorpus:
+    """PTB stand-in: smaller vocabulary, sharper transitions."""
+    spec = LMCorpusSpec(
+        name="ptb", vocab_size=48, seq_len=20, train_sequences=320,
+        test_sequences=96, branching=4,
+    )
+    return make_lm_corpus(spec, seed=seed)

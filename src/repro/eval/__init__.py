@@ -1,0 +1,23 @@
+"""Evaluation metrics and experiment harness."""
+
+from repro.eval.metrics import (
+    accuracy,
+    evaluate_classifier,
+    evaluate_lm,
+    evaluate_regressor,
+    matthews_correlation,
+    metric_for_task,
+    pearson_correlation,
+    perplexity,
+)
+
+__all__ = [
+    "accuracy",
+    "evaluate_classifier",
+    "evaluate_lm",
+    "evaluate_regressor",
+    "matthews_correlation",
+    "metric_for_task",
+    "pearson_correlation",
+    "perplexity",
+]

@@ -1,0 +1,115 @@
+"""Evaluation metrics matching the paper's benchmarks (Section 5.1).
+
+GLUE tasks use accuracy, Matthews correlation (cola) and Pearson correlation
+(sts-b); language models use evaluation loss / perplexity; ViT uses top-1
+accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.data import ArrayDataset
+from repro.nn.losses import lm_cross_entropy
+from repro.nn.modules import Module
+from repro.nn.tensor import no_grad
+
+__all__ = [
+    "accuracy",
+    "matthews_correlation",
+    "pearson_correlation",
+    "perplexity",
+    "evaluate_classifier",
+    "evaluate_regressor",
+    "evaluate_lm",
+    "metric_for_task",
+]
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {targets.shape}")
+    return float((predictions == targets).mean())
+
+
+def matthews_correlation(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Binary Matthews correlation coefficient (GLUE cola metric)."""
+    predictions = np.asarray(predictions).astype(int)
+    targets = np.asarray(targets).astype(int)
+    tp = float(((predictions == 1) & (targets == 1)).sum())
+    tn = float(((predictions == 0) & (targets == 0)).sum())
+    fp = float(((predictions == 1) & (targets == 0)).sum())
+    fn = float(((predictions == 0) & (targets == 1)).sum())
+    denom = np.sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+    if denom == 0:
+        return 0.0
+    return float((tp * tn - fp * fn) / denom)
+
+
+def pearson_correlation(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Pearson r (GLUE sts-b metric)."""
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if predictions.std() == 0 or targets.std() == 0:
+        return 0.0
+    return float(np.corrcoef(predictions, targets)[0, 1])
+
+
+def perplexity(mean_nll: float) -> float:
+    """exp of the mean token negative log-likelihood."""
+    return float(np.exp(mean_nll))
+
+
+def evaluate_classifier(
+    model: Module, dataset: ArrayDataset, metric: str = "accuracy", batch_size: int = 64
+) -> float:
+    """Run ``model`` over ``dataset`` and score with the named metric."""
+    predictions = []
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            logits = model(dataset.inputs[start : start + batch_size])
+            predictions.append(np.argmax(logits.data, axis=-1))
+    predictions = np.concatenate(predictions)
+    targets = dataset.targets.astype(int)
+    if metric == "accuracy":
+        return accuracy(predictions, targets)
+    if metric == "matthews":
+        return matthews_correlation(predictions, targets)
+    raise ValueError(f"unknown classification metric {metric!r}")
+
+
+def evaluate_regressor(model: Module, dataset: ArrayDataset, batch_size: int = 64) -> float:
+    """Pearson correlation of model scores against targets (sts-b style)."""
+    predictions = []
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            out = model(dataset.inputs[start : start + batch_size])
+            predictions.append(out.data.reshape(-1))
+    return pearson_correlation(np.concatenate(predictions), dataset.targets)
+
+
+def evaluate_lm(model: Module, dataset: ArrayDataset, batch_size: int = 32) -> float:
+    """Mean evaluation loss (nats/token) — the paper's decoder metric."""
+    total, count = 0.0, 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            inputs = dataset.inputs[start : start + batch_size]
+            targets = dataset.targets[start : start + batch_size]
+            loss = lm_cross_entropy(model(inputs), targets)
+            total += float(loss.data) * len(inputs)
+            count += len(inputs)
+    return total / max(count, 1)
+
+
+def metric_for_task(task_type: str, metric: str):
+    """Resolve the evaluation callable for a task family."""
+    if task_type == "classification":
+        return lambda model, data: evaluate_classifier(model, data, metric=metric)
+    if task_type == "regression":
+        return lambda model, data: evaluate_regressor(model, data)
+    if task_type == "lm":
+        return lambda model, data: evaluate_lm(model, data)
+    raise ValueError(f"unknown task_type {task_type!r}")

@@ -1,0 +1,19 @@
+"""Model zoo: paper-scale specs (for the perf model) and mini factories."""
+
+from repro.models.configs import (
+    FineTuneParams,
+    ModelSpec,
+    PAPER_MODELS,
+    TABLE1_HYPERPARAMS,
+    downscaled_config,
+    paper_model,
+)
+
+__all__ = [
+    "FineTuneParams",
+    "ModelSpec",
+    "PAPER_MODELS",
+    "TABLE1_HYPERPARAMS",
+    "downscaled_config",
+    "paper_model",
+]

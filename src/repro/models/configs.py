@@ -1,0 +1,127 @@
+"""Paper-scale model specifications and Table 1 fine-tuning hyper-parameters.
+
+:class:`ModelSpec` captures the *architectural* dimensions the performance
+model consumes analytically (Figs. 2, 14-17); :func:`downscaled_config`
+produces a proportionally shrunken :class:`~repro.nn.TransformerConfig` that
+the functional accuracy simulations can actually train on CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.transformer import TransformerConfig
+
+__all__ = [
+    "ModelSpec",
+    "FineTuneParams",
+    "PAPER_MODELS",
+    "TABLE1_HYPERPARAMS",
+    "paper_model",
+    "downscaled_config",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architectural description of a paper benchmark model."""
+
+    name: str
+    kind: str  # "encoder", "decoder" or "vit"
+    num_layers: int
+    d_model: int
+    num_heads: int
+    d_ff: int
+    vocab_size: int
+    max_seq_len: int
+    weight_bits: int = 8  # INT8 linear layers throughout the paper
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("encoder", "decoder", "vit"):
+            raise ValueError(f"unknown model kind {self.kind!r}")
+        if self.d_model % self.num_heads:
+            raise ValueError("d_model must be divisible by num_heads")
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.num_heads
+
+    def static_weight_params(self) -> int:
+        """Parameter count of the static linear weights (per the whole model).
+
+        Six matrices per layer: W_Q, W_K, W_V, W_proj (d x d) and
+        FFN1/FFN2 (d x d_ff each), matching Figs. 1 and 9.
+        """
+        per_layer = 4 * self.d_model * self.d_model + 2 * self.d_model * self.d_ff
+        return self.num_layers * per_layer
+
+    def static_weight_bytes(self) -> int:
+        return self.static_weight_params() * self.weight_bits // 8
+
+
+# Benchmark models of Section 5.1.  Dimensions follow the public model cards:
+# BERT-Base/Large (Devlin 2018), GPT-2 small (Radford 2019),
+# Llama-3.2-1B (16 layers, hidden 2048, FFN 8192), ViT-Base (Dosovitskiy 2021).
+PAPER_MODELS: dict[str, ModelSpec] = {
+    "bert-base": ModelSpec("bert-base", "encoder", 12, 768, 12, 3072, 30522, 128),
+    "bert-large": ModelSpec("bert-large", "encoder", 24, 1024, 16, 4096, 30522, 128),
+    "gpt2": ModelSpec("gpt2", "decoder", 12, 768, 12, 3072, 50257, 1024),
+    "llama3-1b": ModelSpec("llama3-1b", "decoder", 16, 2048, 32, 8192, 128256, 100),
+    "vit-base": ModelSpec("vit-base", "vit", 12, 768, 12, 3072, 1000, 197),
+}
+
+
+@dataclass(frozen=True)
+class FineTuneParams:
+    """Row of the paper's Table 1."""
+
+    batch_size: int
+    learning_rate: float
+    optimizer: str = "AdamW"
+    epochs: int = 3  # paper: 1-3 epochs suffice (Section 4.1)
+
+
+TABLE1_HYPERPARAMS: dict[str, FineTuneParams] = {
+    "bert-base": FineTuneParams(batch_size=32, learning_rate=2e-5),
+    "bert-large": FineTuneParams(batch_size=32, learning_rate=5e-6),
+    "gpt2": FineTuneParams(batch_size=2, learning_rate=2e-5),
+    "llama3-1b": FineTuneParams(batch_size=2, learning_rate=2e-5),
+    "vit-base": FineTuneParams(batch_size=10, learning_rate=5e-6),
+}
+
+
+def paper_model(name: str) -> ModelSpec:
+    """Look up a paper benchmark model by name."""
+    if name not in PAPER_MODELS:
+        raise KeyError(f"unknown model {name!r}; options: {sorted(PAPER_MODELS)}")
+    return PAPER_MODELS[name]
+
+
+def downscaled_config(
+    name: str,
+    d_model: int = 32,
+    num_layers: int = 2,
+    vocab_size: int = 64,
+    max_seq_len: int = 32,
+    num_classes: int = 2,
+    seed: int = 0,
+) -> TransformerConfig:
+    """Shrink a paper model to CPU-trainable size, keeping its *shape*.
+
+    The FFN expansion ratio (d_ff / d_model) and head width proportions of
+    the original are preserved so per-stage op-count ratios stay faithful.
+    """
+    spec = paper_model(name)
+    ratio = spec.d_ff // spec.d_model
+    heads = max(2, min(4, d_model // 8))
+    return TransformerConfig(
+        vocab_size=vocab_size,
+        d_model=d_model,
+        num_heads=heads,
+        num_layers=num_layers,
+        d_ff=ratio * d_model,
+        max_seq_len=max_seq_len,
+        num_classes=num_classes,
+        seed=seed,
+        name=f"{name}-mini",
+    )

@@ -1,0 +1,74 @@
+"""Numpy-based neural-network substrate (autograd, layers, Transformers)."""
+
+from repro.nn.attention import MultiHeadAttention, causal_mask
+from repro.nn.data import ArrayDataset, BatchIterator, train_test_split
+from repro.nn.losses import cross_entropy, lm_cross_entropy, mse_loss
+from repro.nn.modules import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from repro.nn.optim import AdamW, LinearWarmupSchedule, Optimizer, SGD, clip_grad_norm
+from repro.nn.tensor import (
+    Parameter,
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    stack,
+    where,
+)
+from repro.nn.transformer import (
+    DecoderLM,
+    EncoderClassifier,
+    TransformerBlock,
+    TransformerConfig,
+    VisionTransformer,
+)
+
+__all__ = [
+    "AdamW",
+    "ArrayDataset",
+    "BatchIterator",
+    "DecoderLM",
+    "Dropout",
+    "Embedding",
+    "EncoderClassifier",
+    "GELU",
+    "LayerNorm",
+    "Linear",
+    "LinearWarmupSchedule",
+    "Module",
+    "ModuleList",
+    "MultiHeadAttention",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Tanh",
+    "Tensor",
+    "TransformerBlock",
+    "TransformerConfig",
+    "VisionTransformer",
+    "as_tensor",
+    "causal_mask",
+    "clip_grad_norm",
+    "concatenate",
+    "cross_entropy",
+    "is_grad_enabled",
+    "lm_cross_entropy",
+    "mse_loss",
+    "no_grad",
+    "stack",
+    "train_test_split",
+    "where",
+]

@@ -1,0 +1,105 @@
+"""Multi-head attention matching the paper's Transformer description (Eq. 1-2).
+
+The projections ``W_Q``, ``W_K``, ``W_V`` and the output projection ``W_proj``
+are :class:`~repro.nn.modules.Linear` layers over static weights — the parts
+HyFlexPIM maps to *analog* RRAM PIM.  The dynamic products ``Q·Kᵀ`` and
+``S·V`` (the paper's orange box, Fig. 9) are plain matmuls here; the hardware
+path executes them on *digital* PIM (see :mod:`repro.pim.digital_module`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.modules import Dropout, Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "causal_mask"]
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Boolean mask that is True where attention must be *blocked* (j > i)."""
+    return np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product multi-head attention.
+
+    Parameters
+    ----------
+    d_model:
+        Hidden dimension ``D_h`` of the model.
+    num_heads:
+        Head count; ``d_head = d_model / num_heads``.
+    dropout:
+        Attention-probability dropout rate.
+    causal:
+        If True, applies an autoregressive mask (decoder blocks).
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        causal: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} is not divisible by num_heads={num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.causal = causal
+        self.w_q = Linear(d_model, d_model, rng=rng)
+        self.w_k = Linear(d_model, d_model, rng=rng)
+        self.w_v = Linear(d_model, d_model, rng=rng)
+        self.w_proj = Linear(d_model, d_model, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, L, D) -> (B, H, L, d_head)
+        return x.reshape(batch, seq, self.num_heads, self.d_head).transpose((0, 2, 1, 3))
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Run self-attention over ``x`` of shape (batch, seq, d_model).
+
+        ``attention_mask`` is an optional boolean array broadcastable to
+        (batch, 1, seq, seq); True entries are blocked.
+        """
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.w_q(x), batch, seq)
+        k = self._split_heads(self.w_k(x), batch, seq)
+        v = self._split_heads(self.w_v(x), batch, seq)
+
+        scores = (q @ k.transpose((0, 1, 3, 2))) * (1.0 / math.sqrt(self.d_head))
+        mask = self._combined_mask(seq, attention_mask)
+        if mask is not None:
+            scores = scores.masked_fill(mask, -1e9)
+        probs = scores.softmax(axis=-1)
+        probs = self.attn_dropout(probs)
+
+        context = probs @ v  # (B, H, L, d_head)
+        context = context.transpose((0, 2, 1, 3)).reshape(batch, seq, self.d_model)
+        return self.w_proj(context)
+
+    def _combined_mask(
+        self, seq: int, attention_mask: np.ndarray | None
+    ) -> np.ndarray | None:
+        mask = None
+        if self.causal:
+            mask = causal_mask(seq)[None, None, :, :]
+        if attention_mask is not None:
+            attention_mask = np.asarray(attention_mask, dtype=bool)
+            if attention_mask.ndim == 2:  # (B, L) padding mask over keys
+                attention_mask = attention_mask[:, None, None, :]
+            mask = attention_mask if mask is None else (mask | attention_mask)
+        return mask
+
+    def static_linears(self) -> dict[str, Linear]:
+        """The four static-weight projections HyFlexPIM maps to analog PIM."""
+        return {"w_q": self.w_q, "w_k": self.w_k, "w_v": self.w_v, "w_proj": self.w_proj}

@@ -1,0 +1,78 @@
+"""Minimal dataset / dataloader utilities with explicit randomness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "BatchIterator", "train_test_split"]
+
+
+@dataclass
+class ArrayDataset:
+    """A dataset of aligned (inputs, targets) numpy arrays."""
+
+    inputs: np.ndarray
+    targets: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.targets):
+            raise ValueError(
+                f"inputs ({len(self.inputs)}) and targets ({len(self.targets)}) disagree"
+            )
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        return ArrayDataset(self.inputs[indices], self.targets[indices])
+
+
+class BatchIterator:
+    """Yield (inputs, targets) minibatches, optionally shuffled per epoch."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng(0)
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            yield self.dataset.inputs[idx], self.dataset.targets[idx]
+
+
+def train_test_split(
+    dataset: ArrayDataset, test_fraction: float, rng: np.random.Generator
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Random split preserving alignment between inputs and targets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return dataset.subset(train_idx), dataset.subset(test_idx)

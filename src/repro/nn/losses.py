@@ -1,0 +1,41 @@
+"""Loss functions for classification, regression and language modelling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = ["cross_entropy", "mse_loss", "lm_cross_entropy"]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,)."""
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+        )
+    log_probs = logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(len(targets)), targets]
+    return -picked.mean()
+
+
+def lm_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Token-level cross-entropy for language modelling.
+
+    ``logits`` is (batch, seq, vocab); ``targets`` is (batch, seq) of next-token
+    ids.  Returns mean negative log-likelihood, whose exponent is perplexity.
+    """
+    targets = np.asarray(targets)
+    batch, seq, vocab = logits.shape
+    flat = logits.reshape(batch * seq, vocab)
+    return cross_entropy(flat, targets.reshape(-1))
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    diff = predictions - as_tensor(np.asarray(targets, dtype=float))
+    return (diff * diff).mean()

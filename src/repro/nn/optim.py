@@ -1,0 +1,148 @@
+"""Optimizers and learning-rate schedules for fine-tuning.
+
+The paper fine-tunes every model with AdamW (Table 1); SGD is provided as a
+simple baseline and for unit tests.  Optimizers operate on explicit parameter
+lists so the SVD fine-tuning stage can optimize factored layers (U, sigma,
+V^T) directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["Optimizer", "SGD", "AdamW", "LinearWarmupSchedule", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging / tests).
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = math.sqrt(sum(float((p.grad**2).sum()) for p in params))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: Sequence[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self, parameters: Iterable[Parameter], lr: float = 1e-2, momentum: float = 0.0
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                update = v
+            else:
+                update = p.grad
+            p.data = p.data - self.lr * update
+
+
+class AdamW(Optimizer):
+    """Adam with decoupled weight decay (Loshchilov & Hutter).
+
+    Matches the optimizer named in the paper's Table 1 for all fine-tuning.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 2e-5,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._step_count
+        bias2 = 1.0 - beta2**self._step_count
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            p.data = p.data - self.lr * update
+
+
+class LinearWarmupSchedule:
+    """Linear warmup followed by linear decay to zero, a common BERT recipe."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int) -> None:
+        if warmup_steps < 0 or total_steps <= 0 or warmup_steps > total_steps:
+            raise ValueError("require 0 <= warmup_steps <= total_steps and total_steps > 0")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self._step_count = 0
+
+    def step(self) -> float:
+        """Advance one step and return the learning rate now in effect."""
+        self._step_count += 1
+        t = self._step_count
+        if t <= self.warmup_steps and self.warmup_steps > 0:
+            factor = t / self.warmup_steps
+        else:
+            remaining = max(self.total_steps - t, 0)
+            denom = max(self.total_steps - self.warmup_steps, 1)
+            factor = remaining / denom
+        self.optimizer.lr = self.base_lr * factor
+        return self.optimizer.lr

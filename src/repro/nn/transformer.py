@@ -1,0 +1,287 @@
+"""Transformer model family used throughout the reproduction.
+
+Three variants mirror the paper's benchmark suite (Section 5.1):
+
+- :class:`EncoderClassifier` — BERT-like encoder for GLUE-style sequence
+  classification / regression,
+- :class:`DecoderLM` — GPT-like causal language model (WikiText-2 / PTB),
+- :class:`VisionTransformer` — ViT-like patch classifier (CIFAR-10).
+
+All share :class:`TransformerBlock` (MHA + FFN with pre-activation residual
+connections) so the SVD gradient-redistribution pipeline can treat every
+static linear layer uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.modules import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    ReLU,
+)
+from repro.nn.tensor import Tensor, concatenate
+
+__all__ = [
+    "TransformerConfig",
+    "TransformerBlock",
+    "EncoderClassifier",
+    "DecoderLM",
+    "VisionTransformer",
+]
+
+
+@dataclass
+class TransformerConfig:
+    """Structural hyper-parameters shared by all model variants."""
+
+    vocab_size: int = 100
+    d_model: int = 64
+    num_heads: int = 4
+    num_layers: int = 2
+    d_ff: int = 256
+    max_seq_len: int = 64
+    dropout: float = 0.0
+    activation: str = "gelu"
+    num_classes: int = 2
+    # Vision-specific fields (ignored by text models).
+    image_size: int = 32
+    patch_size: int = 8
+    in_channels: int = 3
+    seed: int = 0
+    name: str = "transformer"
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        if self.activation not in ("gelu", "relu"):
+            raise ValueError(f"unsupported activation {self.activation!r}")
+        if self.image_size % self.patch_size != 0:
+            raise ValueError("image_size must be divisible by patch_size")
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.num_heads
+
+    @property
+    def num_patches(self) -> int:
+        return (self.image_size // self.patch_size) ** 2
+
+    @property
+    def patch_dim(self) -> int:
+        return self.in_channels * self.patch_size * self.patch_size
+
+
+def _activation(config: TransformerConfig) -> Module:
+    return GELU() if config.activation == "gelu" else ReLU()
+
+
+class FeedForward(Module):
+    """Two-layer FFN (FFN1: D_h -> D_ff, FFN2: D_ff -> D_h) from Fig. 1."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.ffn1 = Linear(config.d_model, config.d_ff, rng=rng)
+        self.act = _activation(config)
+        self.ffn2 = Linear(config.d_ff, config.d_model, rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.ffn2(self.act(self.ffn1(x))))
+
+
+class TransformerBlock(Module):
+    """Pre-norm Transformer block: MHA + FFN with residual connections."""
+
+    def __init__(
+        self, config: TransformerConfig, rng: np.random.Generator, causal: bool = False
+    ) -> None:
+        super().__init__()
+        self.ln1 = LayerNorm(config.d_model)
+        self.attn = MultiHeadAttention(
+            config.d_model, config.num_heads, dropout=config.dropout, causal=causal, rng=rng
+        )
+        self.ln2 = LayerNorm(config.d_model)
+        self.ffn = FeedForward(config, rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.dropout(self.attn(self.ln1(x), attention_mask=attention_mask))
+        x = x + self.ffn(self.ln2(x))
+        return x
+
+    def static_linears(self) -> dict[str, Linear]:
+        """All six static-weight linear layers of this block (Fig. 9)."""
+        linears = dict(self.attn.static_linears())
+        linears["ffn1"] = self.ffn.ffn1
+        linears["ffn2"] = self.ffn.ffn2
+        return linears
+
+
+class _TransformerBase(Module):
+    """Shared plumbing: block stack plus static-linear enumeration."""
+
+    config: TransformerConfig
+    blocks: ModuleList
+
+    def iter_static_linears(self):
+        """Yield (dotted_name, Linear) for every static weight matrix.
+
+        These are exactly the matrices the paper sends through SVD + gradient
+        redistribution and stores in analog RRAM (Section 3.3).
+        """
+        for i, block in enumerate(self.blocks):
+            for name, linear in block.static_linears().items():
+                yield f"blocks.{i}.{name}", linear
+
+    def replace_static_linear(self, dotted_name: str, replacement: Module) -> None:
+        """Swap a static linear (by dotted name) for a factored/PIM variant."""
+        parts = dotted_name.split(".")
+        if parts[0] != "blocks":
+            raise KeyError(f"not a block-level linear: {dotted_name}")
+        block = self.blocks[int(parts[1])]
+        leaf = parts[2]
+        if leaf in ("w_q", "w_k", "w_v", "w_proj"):
+            setattr(block.attn, leaf, replacement)
+        elif leaf in ("ffn1", "ffn2"):
+            setattr(block.ffn, leaf, replacement)
+        else:
+            raise KeyError(f"unknown static linear {dotted_name}")
+
+
+class EncoderClassifier(_TransformerBase):
+    """BERT-like encoder with a [CLS]-pooled classification/regression head."""
+
+    def __init__(self, config: TransformerConfig) -> None:
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.position_embedding = Embedding(config.max_seq_len, config.d_model, rng=rng)
+        self.embed_dropout = Dropout(config.dropout, rng=rng)
+        self.blocks = ModuleList(
+            [TransformerBlock(config, rng, causal=False) for _ in range(config.num_layers)]
+        )
+        self.final_norm = LayerNorm(config.d_model)
+        self.head = Linear(config.d_model, config.num_classes, rng=rng)
+
+    def forward(self, token_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Return logits of shape (batch, num_classes).
+
+        ``token_ids`` is an integer array (batch, seq).  Position 0 acts as
+        the [CLS] pooling position, as in BERT.
+        """
+        token_ids = np.asarray(token_ids)
+        batch, seq = token_ids.shape
+        if seq > self.config.max_seq_len:
+            raise ValueError(f"sequence length {seq} exceeds max {self.config.max_seq_len}")
+        positions = np.arange(seq)
+        x = self.token_embedding(token_ids) + self.position_embedding(positions)
+        x = self.embed_dropout(x)
+        for block in self.blocks:
+            x = block(x, attention_mask=attention_mask)
+        x = self.final_norm(x)
+        cls = x[:, 0, :]
+        return self.head(cls)
+
+
+class DecoderLM(_TransformerBase):
+    """GPT-like causal language model with tied-free LM head."""
+
+    def __init__(self, config: TransformerConfig) -> None:
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.position_embedding = Embedding(config.max_seq_len, config.d_model, rng=rng)
+        self.embed_dropout = Dropout(config.dropout, rng=rng)
+        self.blocks = ModuleList(
+            [TransformerBlock(config, rng, causal=True) for _ in range(config.num_layers)]
+        )
+        self.final_norm = LayerNorm(config.d_model)
+        self.lm_head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        """Return next-token logits of shape (batch, seq, vocab)."""
+        token_ids = np.asarray(token_ids)
+        _, seq = token_ids.shape
+        if seq > self.config.max_seq_len:
+            raise ValueError(f"sequence length {seq} exceeds max {self.config.max_seq_len}")
+        positions = np.arange(seq)
+        x = self.token_embedding(token_ids) + self.position_embedding(positions)
+        x = self.embed_dropout(x)
+        for block in self.blocks:
+            x = block(x)
+        x = self.final_norm(x)
+        return self.lm_head(x)
+
+    def generate(
+        self, prompt: np.ndarray, max_new_tokens: int, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Greedy (or sampled) autoregressive generation for demos/tests."""
+        tokens = np.asarray(prompt).reshape(1, -1)
+        for _ in range(max_new_tokens):
+            window = tokens[:, -self.config.max_seq_len :]
+            logits = self.forward(window).data[0, -1]
+            if rng is None:
+                next_token = int(np.argmax(logits))
+            else:
+                probs = np.exp(logits - logits.max())
+                probs /= probs.sum()
+                next_token = int(rng.choice(len(probs), p=probs))
+            tokens = np.concatenate([tokens, [[next_token]]], axis=1)
+        return tokens[0]
+
+
+class VisionTransformer(_TransformerBase):
+    """ViT-like classifier over non-overlapping image patches."""
+
+    def __init__(self, config: TransformerConfig) -> None:
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.patch_projection = Linear(config.patch_dim, config.d_model, rng=rng)
+        self.cls_token = Embedding(1, config.d_model, rng=rng)
+        self.position_embedding = Embedding(config.num_patches + 1, config.d_model, rng=rng)
+        self.embed_dropout = Dropout(config.dropout, rng=rng)
+        self.blocks = ModuleList(
+            [TransformerBlock(config, rng, causal=False) for _ in range(config.num_layers)]
+        )
+        self.final_norm = LayerNorm(config.d_model)
+        self.head = Linear(config.d_model, config.num_classes, rng=rng)
+
+    @staticmethod
+    def patchify(images: np.ndarray, patch_size: int) -> np.ndarray:
+        """Convert (B, C, H, W) images into (B, num_patches, patch_dim)."""
+        batch, channels, height, width = images.shape
+        if height % patch_size or width % patch_size:
+            raise ValueError("image dimensions must be divisible by patch_size")
+        ph, pw = height // patch_size, width // patch_size
+        patches = images.reshape(batch, channels, ph, patch_size, pw, patch_size)
+        patches = patches.transpose(0, 2, 4, 1, 3, 5)
+        return patches.reshape(batch, ph * pw, channels * patch_size * patch_size)
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        """Return logits (batch, num_classes) for images (B, C, H, W)."""
+        patches = self.patchify(np.asarray(images), self.config.patch_size)
+        batch = patches.shape[0]
+        x = self.patch_projection(Tensor(patches))
+        cls = self.cls_token(np.zeros((batch, 1), dtype=int))
+        x = concatenate([cls, x], axis=1)
+        positions = np.arange(self.config.num_patches + 1)
+        x = x + self.position_embedding(positions)
+        x = self.embed_dropout(x)
+        for block in self.blocks:
+            x = block(x)
+        x = self.final_norm(x)
+        return self.head(x[:, 0, :])

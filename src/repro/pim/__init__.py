@@ -1,0 +1,66 @@
+"""Functional PIM simulation: modules, hybrid execution, PU and chip."""
+
+from repro.pim.analog_module import AnalogModuleConfig, AnalogPimModule
+from repro.pim.chip import ChipConfig, HyFlexPimChip, LayerAssignment
+from repro.pim.digital_module import (
+    DigitalModuleConfig,
+    DigitalPimModule,
+    DigitalPimStats,
+)
+from repro.pim.hybrid import (
+    HybridLinear,
+    MagnitudeProtectedLinear,
+    attach_hybrid_layers,
+)
+from repro.pim.nor_logic import (
+    COLUMNS_PER_NOR,
+    CYCLES_PER_ROW,
+    NOR_OPS_PER_INT8_MULT,
+    NorCounter,
+    full_adder,
+    multiply_int8,
+    nor,
+    nor_and,
+    nor_not,
+    nor_or,
+    nor_xor,
+    ripple_add,
+)
+from repro.pim.processing_unit import (
+    PlacementRecord,
+    ProcessingUnit,
+    ProcessingUnitConfig,
+)
+from repro.pim.sfu import SfuConfig, SfuStats, SpecialFunctionUnit
+
+__all__ = [
+    "AnalogModuleConfig",
+    "AnalogPimModule",
+    "COLUMNS_PER_NOR",
+    "CYCLES_PER_ROW",
+    "ChipConfig",
+    "DigitalModuleConfig",
+    "DigitalPimModule",
+    "DigitalPimStats",
+    "HyFlexPimChip",
+    "HybridLinear",
+    "LayerAssignment",
+    "MagnitudeProtectedLinear",
+    "NOR_OPS_PER_INT8_MULT",
+    "NorCounter",
+    "PlacementRecord",
+    "ProcessingUnit",
+    "ProcessingUnitConfig",
+    "SfuConfig",
+    "SfuStats",
+    "SpecialFunctionUnit",
+    "attach_hybrid_layers",
+    "full_adder",
+    "multiply_int8",
+    "nor",
+    "nor_and",
+    "nor_not",
+    "nor_or",
+    "nor_xor",
+    "ripple_add",
+]

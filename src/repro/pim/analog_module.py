@@ -1,0 +1,128 @@
+"""Analog RRAM PIM module (Fig. 5(c)): 512 reconfigurable SLC/MLC arrays.
+
+One analog module owns 512 crossbar arrays of 64x128 cells plus their
+peripherals (IR/OR registers, wordline drivers, sample-and-hold bank, a
+shared 6/7-bit reconfigurable SAR ADC per array, shift-and-add).  Static
+weight matrices are *deployed* onto a module's arrays; the module enforces
+its array budget and aggregates the operation statistics the energy model
+consumes.
+
+A single module mixes SLC-configured and MLC-configured arrays freely: the
+paper's reconfigurability means switching costs <1 % area/energy, realized
+here by each :class:`~repro.rram.mapping.MappedMatrix` carrying its own cell
+type and ADC mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rram.cell import CellType
+from repro.rram.crossbar import CrossbarConfig, GemvStats
+from repro.rram.mapping import MappedMatrix
+from repro.rram.noise import DEFAULT_NOISE, NoiseSpec
+
+__all__ = ["AnalogModuleConfig", "AnalogPimModule"]
+
+
+@dataclass(frozen=True)
+class AnalogModuleConfig:
+    """Geometry of one analog PIM module (Table 2)."""
+
+    num_arrays: int = 512
+    array: CrossbarConfig = field(default_factory=CrossbarConfig)
+    adc_sample_rate_hz: float = 1.28e9  # one ADC per array, 1.28 GSps
+    conversion_window_ns: float = 100.0  # 128 bitlines converted per 100 ns
+
+    @property
+    def cells_per_array(self) -> int:
+        return self.array.rows * self.array.cols
+
+    def slc_capacity_bytes(self) -> int:
+        """Module capacity with every array in SLC mode."""
+        return self.num_arrays * self.cells_per_array // 8
+
+
+class AnalogPimModule:
+    """Holds deployed weight matrices and executes their GEMVs."""
+
+    def __init__(
+        self,
+        config: AnalogModuleConfig | None = None,
+        noise: NoiseSpec | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or AnalogModuleConfig()
+        self.noise = noise or DEFAULT_NOISE
+        self.seed = seed
+        self._deployed: dict[str, MappedMatrix] = {}
+        self._arrays_used = 0
+
+    # -- deployment -----------------------------------------------------------
+    @property
+    def arrays_used(self) -> int:
+        return self._arrays_used
+
+    @property
+    def arrays_free(self) -> int:
+        return self.config.num_arrays - self._arrays_used
+
+    def deploy(self, name: str, weight_codes: np.ndarray, cell: CellType) -> MappedMatrix:
+        """Program a weight matrix onto this module's arrays.
+
+        Raises :class:`MemoryError` when the array budget is exceeded —
+        callers (the PU/chip mappers) then spill to another module.
+        """
+        if name in self._deployed:
+            raise KeyError(f"matrix {name!r} already deployed")
+        import zlib
+
+        mapped = MappedMatrix(
+            weight_codes=np.asarray(weight_codes),
+            cell=cell,
+            noise=self.noise,
+            config=self.config.array,
+            seed=self.seed + (zlib.crc32(name.encode()) % (2**16)),
+        )
+        if mapped.arrays_used > self.arrays_free:
+            raise MemoryError(
+                f"analog module full: {name!r} needs {mapped.arrays_used} arrays, "
+                f"{self.arrays_free} free of {self.config.num_arrays}"
+            )
+        self._arrays_used += mapped.arrays_used
+        self._deployed[name] = mapped
+        return mapped
+
+    def matrix(self, name: str) -> MappedMatrix:
+        return self._deployed[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._deployed)
+
+    # -- execution --------------------------------------------------------------
+    def gemv(self, name: str, input_codes: np.ndarray) -> np.ndarray:
+        """Run one deployed matrix's analog GEMV."""
+        return self._deployed[name].gemv(input_codes)
+
+    def merged_stats(self) -> GemvStats:
+        total = GemvStats()
+        for mapped in self._deployed.values():
+            total.merge(mapped.stats)
+        return total
+
+    def utilization(self) -> float:
+        """Fraction of the module's arrays holding weights."""
+        return self._arrays_used / self.config.num_arrays
+
+    def gemv_latency_ns(self, input_bits: int = 8) -> float:
+        """Pipelined latency of one GEMV wave (Section 5.4).
+
+        Each input-bit cycle the crossbar reads while the previous cycle's
+        128 bitline samples convert in the shared ADC — 100 ns per wave.
+        Row tiles sit on different arrays with their own ADCs, so they
+        convert concurrently and do not lengthen the wave.
+        """
+        waves = input_bits + 1  # +1 to drain the ADC pipeline
+        return waves * self.config.conversion_window_ns

@@ -1,0 +1,125 @@
+"""HyFlexPIM chip (Fig. 5(a)): 24 processing units and the model mapper.
+
+A chip pipelines one Transformer layer per PU.  The mapper implements the
+paper's three flexibility cases (Section 3.1):
+
+1. a layer too large for one PU spans multiple PUs (tensor parallelism);
+2. a model with fewer layers than PUs replicates layers over spare PUs for
+   throughput (tensor parallelism across the batch/sequence);
+3. a model with more layers than available PUs cascades across chips
+   (pipeline parallelism) — handled by :mod:`repro.arch.scaling`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pim.processing_unit import ProcessingUnit, ProcessingUnitConfig
+from repro.rram.cell import CellType, MLC2
+from repro.rram.noise import DEFAULT_NOISE, NoiseSpec
+from repro.svd.pipeline import RedistributionPlan
+
+__all__ = ["ChipConfig", "LayerAssignment", "HyFlexPimChip"]
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Chip composition per Fig. 5(a) and Section 5.4."""
+
+    num_processing_units: int = 24
+    pu: ProcessingUnitConfig = field(default_factory=ProcessingUnitConfig)
+    global_bus_gbps: float = 128.0  # PCIe-6.0 x16 (Section 3.1)
+    inner_bus_gbps: float = 1000.0  # on-chip interconnect (OCI)
+
+
+@dataclass
+class LayerAssignment:
+    """Mapping of one model layer (all its matrices) to processing units."""
+
+    layer_index: int
+    pu_indices: list[int]
+    matrices: list[str]
+
+
+class HyFlexPimChip:
+    """Deployment target: place a whole redistribution plan onto 24 PUs."""
+
+    def __init__(
+        self,
+        config: ChipConfig | None = None,
+        noise: NoiseSpec | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or ChipConfig()
+        self.noise = noise or DEFAULT_NOISE
+        self.processing_units = [
+            ProcessingUnit(self.config.pu, noise=self.noise, seed=seed + 1000 * i)
+            for i in range(self.config.num_processing_units)
+        ]
+        self.assignments: list[LayerAssignment] = []
+
+    @staticmethod
+    def _group_by_block(plan: RedistributionPlan) -> dict[int, list[str]]:
+        """Group layer-plan names ('blocks.<i>.<leaf>') by block index."""
+        groups: dict[int, list[str]] = {}
+        for name in plan.layers:
+            parts = name.split(".")
+            if parts[0] != "blocks":
+                raise ValueError(f"unexpected layer name {name!r}")
+            groups.setdefault(int(parts[1]), []).append(name)
+        return dict(sorted(groups.items()))
+
+    def deploy(self, plan: RedistributionPlan, mlc_cell: CellType = MLC2) -> list[LayerAssignment]:
+        """Place every Transformer block on processing units.
+
+        One PU per block when it fits; a block that exceeds one PU's arrays
+        spills onto subsequent PUs (the paper's case 1).  Raises
+        :class:`MemoryError` when the chip is exhausted (callers then scale
+        out to more chips — the paper's case 3).
+        """
+        groups = self._group_by_block(plan)
+        next_pu = 0
+        self.assignments = []
+        for block_index, names in groups.items():
+            used_pus: list[int] = []
+            for name in names:
+                layer_plan = plan.layers[name]
+                placed = False
+                probe = next_pu
+                while probe < len(self.processing_units):
+                    pu = self.processing_units[probe]
+                    if pu.can_fit_layer(layer_plan, mlc_cell):
+                        pu.place_layer(layer_plan, mlc_cell)
+                        if probe not in used_pus:
+                            used_pus.append(probe)
+                        placed = True
+                        break
+                    probe += 1
+                if not placed:
+                    raise MemoryError(
+                        f"chip exhausted while placing block {block_index} ({name}); "
+                        "scale out with pipeline parallelism"
+                    )
+            self.assignments.append(
+                LayerAssignment(layer_index=block_index, pu_indices=used_pus, matrices=names)
+            )
+            # The next block starts at the furthest PU used so far: blocks
+            # are pipelined PU-by-PU (Fig. 5), sharing only when spilling.
+            next_pu = max(used_pus) + 1 if used_pus else next_pu
+        return self.assignments
+
+    # -- chip-level queries -------------------------------------------------
+    def pus_used(self) -> int:
+        return len({i for a in self.assignments for i in a.pu_indices})
+
+    def arrays_used(self) -> int:
+        return sum(pu.arrays_used() for pu in self.processing_units)
+
+    def analog_utilization(self) -> float:
+        total = self.config.num_processing_units * self.config.pu.total_analog_arrays
+        return self.arrays_used() / total
+
+    def transfer_latency_cycles(self, num_bytes: int, clock_ghz: float = 1.0) -> float:
+        """Inter-PU transfer latency over the OCI at the given core clock."""
+        seconds = num_bytes / (self.config.inner_bus_gbps * 1e9)
+        return seconds * clock_ghz * 1e9

@@ -1,0 +1,245 @@
+"""HybridLinear: factored inference layer on hybrid SLC/MLC analog PIM.
+
+This is the deployment form of one static weight matrix after gradient
+redistribution (Fig. 9): the layer computes
+
+    y = ((x @ Aᵀ) @ Bᵀ) + b,   A = Σ·Vᵀ (rank x in),  B = U (out x rank)
+
+with both GEMVs running through INT8 quantization and noisy analog RRAM.
+Each rank is assigned to SLC (protected) or MLC (efficient); the two
+partial GEMVs recombine digitally.
+
+Two execution modes trade fidelity for speed:
+
+- ``"crossbar"`` — full bit-serial simulation (bit-sliced cells, frozen
+  programming noise, 6/7-b ADC, shift-and-add).  Exact to the hardware
+  model; used for layer-level studies and verification.
+- ``"fast"`` — weight-level noise injection ``W̃ = W ⊙ (1 + η)`` on the
+  INT8-quantized factors, the paper's own Eq. (5) accuracy methodology.
+  Orders of magnitude faster; used for whole-model accuracy sweeps
+  (Fig. 12/13).  Consistency between the two modes is unit-tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules import Module
+from repro.nn.tensor import Tensor
+from repro.quant.quantizer import QuantParams, dequantize, quantize
+from repro.rram.cell import CellType, MLC2, SLC
+from repro.rram.crossbar import CrossbarConfig, GemvStats
+from repro.rram.mapping import HybridSplit, split_by_rank
+from repro.rram.noise import DEFAULT_NOISE, NoiseSpec, apply_multiplicative_noise
+from repro.svd.pipeline import LayerPlan
+
+__all__ = ["HybridLinear", "MagnitudeProtectedLinear", "attach_hybrid_layers"]
+
+_MODES = ("fast", "crossbar")
+
+
+class MagnitudeProtectedLinear(Module):
+    """Dense (non-SVD) layer with elementwise magnitude-based SLC protection.
+
+    The Fig. 13 ablation baseline: without SVD there is no rank structure,
+    so the top-``k%`` |w| elements are protected in SLC and the rest sit in
+    MLC.  Executed with the fast Eq. (5) noise path (element-granular
+    SLC/MLC mixing inside one column is not physically realizable on the
+    crossbar, which is itself part of the paper's argument for rank-level
+    protection).
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        protected_mask: np.ndarray,
+        noise: NoiseSpec | None = None,
+        mlc_cell: CellType = MLC2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        weight = np.asarray(weight, dtype=float)
+        protected_mask = np.asarray(protected_mask, dtype=bool)
+        if protected_mask.shape != weight.shape:
+            raise ValueError(
+                f"mask shape {protected_mask.shape} != weight shape {weight.shape}"
+            )
+        self.noise = noise or DEFAULT_NOISE
+        self.out_features, self.in_features = weight.shape
+        codes, params = quantize(weight, num_bits=8)
+        dequant = dequantize(codes, params)
+        rng = np.random.default_rng(seed)
+        noisy = np.empty_like(dequant)
+        noisy[protected_mask] = apply_multiplicative_noise(
+            dequant[protected_mask], self.noise.sigma(SLC), rng
+        )
+        noisy[~protected_mask] = apply_multiplicative_noise(
+            dequant[~protected_mask], self.noise.sigma(mlc_cell), rng
+        )
+        self._noisy_weight = noisy
+        self._bias = None if bias is None else np.asarray(bias, dtype=float)
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=float)
+        out = data @ self._noisy_weight.T
+        if self._bias is not None:
+            out = out + self._bias
+        return Tensor(out)
+
+
+class HybridLinear(Module):
+    """Inference-only linear layer executed on hybrid SLC/MLC analog PIM."""
+
+    def __init__(
+        self,
+        plan: LayerPlan,
+        noise: NoiseSpec | None = None,
+        mode: str = "fast",
+        mlc_cell: CellType = MLC2,
+        config: CrossbarConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.plan = plan
+        self.noise = noise or DEFAULT_NOISE
+        self.mode = mode
+        self.mlc_cell = mlc_cell
+        self.config = config or CrossbarConfig()
+        self.seed = seed
+        self.in_features = plan.a_matrix.shape[1]
+        self.out_features = plan.b_matrix.shape[0]
+        self.rank = plan.rank
+
+        # INT8 weight quantization (per-tensor, symmetric) for both factors.
+        self._a_codes, self._a_params = quantize(plan.a_matrix, num_bits=8)
+        self._b_codes, self._b_params = quantize(plan.b_matrix, num_bits=8)
+
+        rng = np.random.default_rng(seed)
+        if mode == "crossbar":
+            self._split: HybridSplit | None = split_by_rank(
+                self._a_codes,
+                self._b_codes,
+                plan.protected_ranks,
+                noise=self.noise,
+                config=self.config,
+                mlc_cell=mlc_cell,
+                seed=seed,
+            )
+            self._noisy_a = None
+            self._noisy_b = None
+        else:
+            self._split = None
+            # Weight-level Eq. (5) noise, applied once (static weights are
+            # programmed once); protected ranks get SLC sigma, rest MLC sigma.
+            sigma_slc = self.noise.sigma(SLC)
+            sigma_mlc = self.noise.sigma(mlc_cell)
+            protected = plan.protected_ranks
+            a_noisy = np.empty_like(plan.a_matrix)
+            b_noisy = np.empty_like(plan.b_matrix)
+            a_deq = dequantize(self._a_codes, self._a_params)
+            b_deq = dequantize(self._b_codes, self._b_params)
+            a_noisy[protected] = apply_multiplicative_noise(a_deq[protected], sigma_slc, rng)
+            a_noisy[~protected] = apply_multiplicative_noise(a_deq[~protected], sigma_mlc, rng)
+            b_noisy[:, protected] = apply_multiplicative_noise(
+                b_deq[:, protected], sigma_slc, rng
+            )
+            b_noisy[:, ~protected] = apply_multiplicative_noise(
+                b_deq[:, ~protected], sigma_mlc, rng
+            )
+            self._noisy_a = a_noisy
+            self._noisy_b = b_noisy
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        """Inference pass; gradients do not flow through PIM hardware."""
+        data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=float)
+        original_shape = data.shape
+        flat = data.reshape(-1, original_shape[-1])
+        if self.mode == "fast":
+            out = self._forward_fast(flat)
+        else:
+            out = self._forward_crossbar(flat)
+        if self.plan.bias is not None:
+            out = out + self.plan.bias
+        return Tensor(out.reshape(original_shape[:-1] + (self.out_features,)))
+
+    def _forward_fast(self, flat: np.ndarray) -> np.ndarray:
+        hidden = flat @ self._noisy_a.T
+        return hidden @ self._noisy_b.T
+
+    def _forward_crossbar(self, flat: np.ndarray) -> np.ndarray:
+        split = self._split
+        # Stage 1: x (INT8) @ A^T on SLC/MLC arrays.
+        x_codes, x_params = quantize(flat, num_bits=8)
+        hidden = np.zeros((flat.shape[0], self.rank))
+        protected = self.plan.protected_ranks
+        scale_in = np.asarray(x_params.scale) * np.asarray(self._a_params.scale)
+        if split.slc_a is not None:
+            hidden[:, protected] = split.slc_a.gemv(x_codes) * scale_in
+        if split.mlc_a is not None:
+            hidden[:, ~protected] = split.mlc_a.gemv(x_codes) * scale_in
+
+        # Stage 2: h (requantized INT8) @ B^T.
+        h_codes, h_params = quantize(hidden, num_bits=8)
+        scale_out = np.asarray(h_params.scale) * np.asarray(self._b_params.scale)
+        out = np.zeros((flat.shape[0], self.out_features))
+        if split.slc_b is not None:
+            out += split.slc_b.gemv(h_codes[:, protected]) * scale_out
+        if split.mlc_b is not None:
+            out += split.mlc_b.gemv(h_codes[:, ~protected]) * scale_out
+        return out
+
+    # ------------------------------------------------------------------
+    def arrays_used(self) -> int:
+        """Physical array footprint (crossbar mode only tracks placement)."""
+        if self._split is not None:
+            return self._split.arrays_used
+        # Fast mode: compute the footprint the crossbar placement would use.
+        split = split_by_rank(
+            self._a_codes,
+            self._b_codes,
+            self.plan.protected_ranks,
+            noise=NoiseSpec.noiseless(),
+            config=self.config,
+            mlc_cell=self.mlc_cell,
+            seed=self.seed,
+        )
+        return split.arrays_used
+
+    def merged_stats(self) -> GemvStats:
+        if self._split is None:
+            return GemvStats()
+        return self._split.merged_stats()
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridLinear(in={self.in_features}, out={self.out_features}, "
+            f"rank={self.rank}, protected={self.plan.protected_ranks.sum()}, "
+            f"mode={self.mode!r})"
+        )
+
+
+def attach_hybrid_layers(
+    model: Module,
+    plans: dict[str, LayerPlan],
+    noise: NoiseSpec | None = None,
+    mode: str = "fast",
+    mlc_cell: CellType = MLC2,
+    seed: int = 0,
+) -> dict[str, HybridLinear]:
+    """Swap every planned layer of ``model`` for its PIM deployment form.
+
+    ``model`` must expose ``replace_static_linear`` (all Transformer variants
+    do); ``plans`` comes from the gradient-redistribution pipeline.
+    """
+    attached: dict[str, HybridLinear] = {}
+    for name, plan in plans.items():
+        layer = HybridLinear(
+            plan, noise=noise, mode=mode, mlc_cell=mlc_cell, seed=seed + len(attached)
+        )
+        model.replace_static_linear(name, layer)
+        attached[name] = layer
+    return attached

@@ -1,0 +1,186 @@
+"""Processing Unit (Fig. 5(b)): 24 analog + 8 digital PIM modules.
+
+Each PU is dedicated to one Transformer layer (or collaborates with other
+PUs under tensor parallelism, Section 3.1).  The PU's job in the functional
+simulator is *placement*: distributing a layer's factored weight matrices
+across its analog modules (spilling between modules as array budgets fill)
+and its dynamic operands across digital modules, with validation against
+the hardware's capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pim.analog_module import AnalogModuleConfig, AnalogPimModule
+from repro.pim.digital_module import DigitalModuleConfig, DigitalPimModule
+from repro.rram.cell import CellType, MLC2, SLC
+from repro.rram.crossbar import GemvStats
+from repro.rram.mapping import array_footprint
+from repro.rram.noise import DEFAULT_NOISE, NoiseSpec
+from repro.svd.pipeline import LayerPlan
+
+__all__ = ["ProcessingUnitConfig", "PlacementRecord", "ProcessingUnit"]
+
+
+@dataclass(frozen=True)
+class ProcessingUnitConfig:
+    """PU composition per Fig. 5(b) and Table 2."""
+
+    num_analog_modules: int = 24
+    num_digital_modules: int = 8
+    analog: AnalogModuleConfig = field(default_factory=AnalogModuleConfig)
+    digital: DigitalModuleConfig = field(default_factory=DigitalModuleConfig)
+
+    @property
+    def total_analog_arrays(self) -> int:
+        return self.num_analog_modules * self.analog.num_arrays
+
+    @property
+    def digital_capacity_bytes(self) -> int:
+        return self.num_digital_modules * self.digital.capacity_bytes
+
+
+@dataclass
+class PlacementRecord:
+    """Where one factored matrix fragment landed."""
+
+    layer: str
+    fragment: str  # e.g. "A/slc", "B/mlc"
+    module_index: int
+    arrays: int
+    cell: str
+
+
+class ProcessingUnit:
+    """Capacity-checked placement of one layer's weights onto PIM modules."""
+
+    def __init__(
+        self,
+        config: ProcessingUnitConfig | None = None,
+        noise: NoiseSpec | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or ProcessingUnitConfig()
+        self.noise = noise or DEFAULT_NOISE
+        self.analog_modules = [
+            AnalogPimModule(self.config.analog, noise=self.noise, seed=seed + i)
+            for i in range(self.config.num_analog_modules)
+        ]
+        self.digital_modules = [
+            DigitalPimModule(self.config.digital)
+            for _ in range(self.config.num_digital_modules)
+        ]
+        self.placements: list[PlacementRecord] = []
+
+    # -- analog placement -----------------------------------------------------
+    def _place_fragment(
+        self, layer: str, fragment: str, codes: np.ndarray, cell: CellType
+    ) -> None:
+        if codes.size == 0:
+            return
+        needed = array_footprint(codes.shape[0], codes.shape[1], cell, self.config.analog.array)
+        for index, module in enumerate(self.analog_modules):
+            if module.arrays_free >= needed:
+                module.deploy(f"{layer}/{fragment}", codes, cell)
+                self.placements.append(
+                    PlacementRecord(layer, fragment, index, needed, cell.name)
+                )
+                return
+        # No single module can hold the fragment: split it into row-tile
+        # chunks (input dim) and, if still too wide, per-array output chunks.
+        # Hardware recombines the chunks' partial results over the inner-unit
+        # shared bus (Section 3.1).
+        rows = self.config.analog.array.rows
+        if codes.shape[1] > rows:
+            for start in range(0, codes.shape[1], rows):
+                self._place_fragment(
+                    layer, f"{fragment}/rows{start}", codes[:, start : start + rows], cell
+                )
+            return
+        slices = -(-8 // cell.bits)  # INT8 weights
+        outs_per_array = max(1, self.config.analog.array.cols // slices)
+        if codes.shape[0] > outs_per_array:
+            for start in range(0, codes.shape[0], outs_per_array):
+                self._place_fragment(
+                    layer, f"{fragment}/outs{start}", codes[start : start + outs_per_array], cell
+                )
+            return
+        raise MemoryError(
+            f"PU cannot place {layer}/{fragment}: needs {needed} arrays, "
+            f"free per module: {[m.arrays_free for m in self.analog_modules]}"
+        )
+
+    def place_layer(
+        self, plan: LayerPlan, mlc_cell: CellType = MLC2, weight_bits: int = 8
+    ) -> None:
+        """Place one factored layer's four fragments on analog modules.
+
+        Uses first-fit over the PU's modules; INT8 codes are derived with
+        per-tensor symmetric quantization.
+        """
+        from repro.quant.quantizer import quantize
+
+        a_codes, _ = quantize(plan.a_matrix, num_bits=weight_bits)
+        b_codes, _ = quantize(plan.b_matrix, num_bits=weight_bits)
+        protected = plan.protected_ranks
+        self._place_fragment(plan.name, "A/slc", a_codes[protected, :], SLC)
+        self._place_fragment(plan.name, "A/mlc", a_codes[~protected, :], mlc_cell)
+        self._place_fragment(plan.name, "B/slc", b_codes[:, protected], SLC)
+        self._place_fragment(plan.name, "B/mlc", b_codes[:, ~protected], mlc_cell)
+
+    # -- capacity queries -----------------------------------------------------
+    def arrays_used(self) -> int:
+        return sum(m.arrays_used for m in self.analog_modules)
+
+    def arrays_free(self) -> int:
+        return sum(m.arrays_free for m in self.analog_modules)
+
+    def analog_utilization(self) -> float:
+        return self.arrays_used() / self.config.total_analog_arrays
+
+    def can_fit_layer(
+        self, plan: LayerPlan, mlc_cell: CellType = MLC2
+    ) -> bool:
+        """Whole-PU feasibility check (ignores per-module fragmentation)."""
+        protected = plan.protected_ranks
+        n_prot = int(protected.sum())
+        n_rest = plan.rank - n_prot
+        in_f = plan.a_matrix.shape[1]
+        out_f = plan.b_matrix.shape[0]
+        cfg = self.config.analog.array
+        needed = 0
+        if n_prot:
+            needed += array_footprint(n_prot, in_f, SLC, cfg)
+            needed += array_footprint(out_f, n_prot, SLC, cfg)
+        if n_rest:
+            needed += array_footprint(n_rest, in_f, mlc_cell, cfg)
+            needed += array_footprint(out_f, n_rest, mlc_cell, cfg)
+        return needed <= self.arrays_free()
+
+    # -- digital side -----------------------------------------------------------
+    def digital_capacity_bytes(self) -> int:
+        return self.config.digital_capacity_bytes
+
+    def store_dynamic(self, num_bytes: int) -> None:
+        """Spread real-time operand storage across digital modules."""
+        remaining = num_bytes
+        for module in self.digital_modules:
+            chunk = min(remaining, module.free_bytes)
+            if chunk:
+                module.write(chunk)
+                remaining -= chunk
+            if remaining == 0:
+                return
+        raise MemoryError(
+            f"digital capacity exceeded: {num_bytes} B requested, "
+            f"{self.digital_capacity_bytes()} B total"
+        )
+
+    def merged_analog_stats(self) -> GemvStats:
+        total = GemvStats()
+        for module in self.analog_modules:
+            total.merge(module.merged_stats())
+        return total

@@ -1,0 +1,23 @@
+"""INT8 quantization substrate (paper Section 5.1)."""
+
+from repro.quant.quantizer import (
+    QuantParams,
+    bits_to_int,
+    dequantize,
+    fake_quantize,
+    int_to_bits,
+    offset_decode,
+    offset_encode,
+    quantize,
+)
+
+__all__ = [
+    "QuantParams",
+    "bits_to_int",
+    "dequantize",
+    "fake_quantize",
+    "int_to_bits",
+    "offset_decode",
+    "offset_encode",
+    "quantize",
+]

@@ -1,0 +1,138 @@
+"""INT8 quantization used for all linear layers and attention operands.
+
+The paper (Section 5.1) runs every linear layer and the Q/K/V attention
+operands in INT8, with FP16 reserved for the SFU's non-linear functions.
+This module provides symmetric linear quantization plus the offset encoding
+needed to place signed weights onto non-negative RRAM conductances:
+
+- **Weights** are quantized to signed INT8, then *offset-encoded*
+  (``q + 128`` in [0, 255]) before being bit-sliced across RRAM cells, since
+  a memristor conductance cannot be negative.  The digital shift-and-add
+  stage removes the offset by subtracting ``128 * sum(inputs)``.
+- **Activations** are quantized to signed INT8 and streamed bit-serially;
+  the two's-complement MSB cycle receives a negative weight in the digital
+  shift-and-add, which is free in digital arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantParams",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "offset_encode",
+    "offset_decode",
+    "int_to_bits",
+    "bits_to_int",
+]
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Scale and integer range of a symmetric linear quantizer."""
+
+    scale: float | np.ndarray
+    num_bits: int = 8
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.num_bits - 1))
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.num_bits - 1) - 1
+
+    @property
+    def offset(self) -> int:
+        """Bias added to signed codes to make them non-negative cell values."""
+        return 2 ** (self.num_bits - 1)
+
+
+def _compute_scale(
+    x: np.ndarray, num_bits: int, per_channel_axis: int | None
+) -> float | np.ndarray:
+    qmax = 2 ** (num_bits - 1) - 1
+    if per_channel_axis is None:
+        max_abs = float(np.abs(x).max()) if x.size else 0.0
+        return max(max_abs, 1e-12) / qmax
+    axes = tuple(i for i in range(x.ndim) if i != per_channel_axis)
+    max_abs = np.abs(x).max(axis=axes, keepdims=True)
+    return np.maximum(max_abs, 1e-12) / qmax
+
+
+def quantize(
+    x: np.ndarray,
+    num_bits: int = 8,
+    per_channel_axis: int | None = None,
+    params: QuantParams | None = None,
+) -> tuple[np.ndarray, QuantParams]:
+    """Symmetrically quantize ``x`` to signed integers.
+
+    Returns the integer codes (dtype int32) and the :class:`QuantParams`
+    needed to dequantize.  If ``params`` is given, its scale is reused
+    (e.g. calibrated activations at deployment time).
+    """
+    if num_bits < 2 or num_bits > 16:
+        raise ValueError(f"num_bits must be in [2, 16], got {num_bits}")
+    x = np.asarray(x, dtype=float)
+    if params is None:
+        params = QuantParams(scale=_compute_scale(x, num_bits, per_channel_axis), num_bits=num_bits)
+    elif params.num_bits != num_bits:
+        raise ValueError(f"params.num_bits={params.num_bits} conflicts with num_bits={num_bits}")
+    codes = np.round(x / params.scale)
+    codes = np.clip(codes, params.qmin, params.qmax).astype(np.int32)
+    return codes, params
+
+
+def dequantize(codes: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map integer codes back to real values."""
+    return np.asarray(codes, dtype=float) * params.scale
+
+
+def fake_quantize(
+    x: np.ndarray, num_bits: int = 8, per_channel_axis: int | None = None
+) -> np.ndarray:
+    """Quantize-dequantize round trip (the INT8 'baseline' of Fig. 12)."""
+    codes, params = quantize(x, num_bits=num_bits, per_channel_axis=per_channel_axis)
+    return dequantize(codes, params)
+
+
+def offset_encode(codes: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Shift signed codes into [0, 2^bits - 1] for conductance mapping."""
+    encoded = np.asarray(codes, dtype=np.int64) + params.offset
+    if encoded.min(initial=0) < 0 or encoded.max(initial=0) > 2**params.num_bits - 1:
+        raise ValueError("codes out of range for offset encoding")
+    return encoded
+
+
+def offset_decode(encoded: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Inverse of :func:`offset_encode`."""
+    return np.asarray(encoded, dtype=np.int64) - params.offset
+
+
+def int_to_bits(values: np.ndarray, num_bits: int) -> np.ndarray:
+    """Decompose non-negative ints into bit planes, LSB first.
+
+    Returns an array of shape ``values.shape + (num_bits,)`` with entries in
+    {0, 1}.  Used for both bit-serial input streaming (rows) and bit-sliced
+    weight storage (columns).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.min(initial=0) < 0:
+        raise ValueError("int_to_bits requires non-negative values")
+    if values.max(initial=0) >= 2**num_bits:
+        raise ValueError(f"value {values.max()} does not fit in {num_bits} bits")
+    shifts = np.arange(num_bits)
+    return (values[..., None] >> shifts) & 1
+
+
+def bits_to_int(bits: np.ndarray) -> np.ndarray:
+    """Recombine LSB-first bit planes into integers (inverse of int_to_bits)."""
+    bits = np.asarray(bits, dtype=np.int64)
+    weights = 1 << np.arange(bits.shape[-1])
+    return (bits * weights).sum(axis=-1)

@@ -1,0 +1,66 @@
+"""RRAM device, noise, ADC and crossbar models (paper Sections 3.2, 5.2)."""
+
+from repro.rram.adc import SarAdc, required_adc_bits
+from repro.rram.cell import (
+    CELL_TYPES,
+    CellType,
+    MLC2,
+    MLC3,
+    MLC4,
+    RramDeviceParams,
+    SLC,
+)
+from repro.rram.crossbar import (
+    CrossbarConfig,
+    GemvStats,
+    ProgrammedMatrix,
+    WeightSlices,
+    bit_serial_gemv,
+    input_bit_weights,
+    slice_weights,
+)
+from repro.rram.endurance import EnduranceModel, WearReport
+from repro.rram.mapping import HybridSplit, MappedMatrix, array_footprint, split_by_rank
+from repro.rram.noise import (
+    DEFAULT_NOISE,
+    MEASURED_MLC2_BER,
+    NoiseSpec,
+    SLC_PRECISION_RATIO,
+    apply_multiplicative_noise,
+    ber_to_sigma,
+    level_error_rate,
+    sigma_to_ber,
+)
+
+__all__ = [
+    "CELL_TYPES",
+    "CellType",
+    "CrossbarConfig",
+    "DEFAULT_NOISE",
+    "EnduranceModel",
+    "GemvStats",
+    "HybridSplit",
+    "MEASURED_MLC2_BER",
+    "MLC2",
+    "MLC3",
+    "MLC4",
+    "MappedMatrix",
+    "NoiseSpec",
+    "ProgrammedMatrix",
+    "RramDeviceParams",
+    "SLC",
+    "SLC_PRECISION_RATIO",
+    "SarAdc",
+    "WearReport",
+    "WeightSlices",
+    "apply_multiplicative_noise",
+    "array_footprint",
+    "ber_to_sigma",
+    "bit_serial_gemv",
+    "input_bit_weights",
+    "level_error_rate",
+    "required_adc_bits",
+    "sigma_to_ber",
+    "slice_weights",
+    "split_by_rank",
+]

@@ -1,0 +1,248 @@
+"""Bit-serial analog crossbar GEMV (Figs. 3, 6, 7).
+
+Implements the paper's analog PIM dataflow faithfully:
+
+- signed INT8 weights are *offset-encoded* to [0, 255] (conductances cannot
+  be negative) and **bit-sliced across adjacent columns** — eight 1-bit
+  columns per weight for SLC, four 2-bit cells for MLC (Figs. 6-7);
+- each programmed cell carries multiplicative Gaussian programming noise
+  calibrated to measured BER (Section 5.2);
+- inputs stream **bit-serially** over the wordlines, one bit-plane per
+  cycle; the two's-complement MSB cycle gets a negative weight in the
+  digital shift-and-add, and the weight offset is removed digitally by
+  subtracting ``offset x Σ(inputs)``;
+- every bitline sum passes through the shared SAR ADC (6 b SLC / 7 b MLC);
+- matrices larger than one 64x128 array tile across arrays, with partial
+  sums accumulated digitally (Section 3.1).
+
+In the noiseless case the pipeline is *exact*: it returns the integer GEMV
+``x @ W.T`` (verified by tests), because the unit-step ADC only errs when a
+bitline saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.quant.quantizer import int_to_bits
+from repro.rram.adc import SarAdc, required_adc_bits
+from repro.rram.cell import CellType
+from repro.rram.noise import apply_multiplicative_noise
+
+__all__ = [
+    "CrossbarConfig",
+    "WeightSlices",
+    "slice_weights",
+    "input_bit_weights",
+    "bit_serial_gemv",
+    "ProgrammedMatrix",
+    "GemvStats",
+]
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Geometry of one analog RRAM array (Fig. 5(c): 64 WLs x 128 BLs)."""
+
+    rows: int = 64
+    cols: int = 128
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("rows and cols must be positive")
+
+
+@dataclass
+class WeightSlices:
+    """Bit-sliced, offset-encoded weight planes ready for programming.
+
+    ``values`` has shape (in_features, out_features, num_slices) with entries
+    in ``[0, 2^cell_bits - 1]``; slice ``s`` carries bit positions
+    ``[s*cell_bits, (s+1)*cell_bits)`` of the offset-encoded weight, so its
+    shift-and-add impact factor is ``2^(s*cell_bits)`` (1x, 4x, 16x... for
+    2-bit MLC, exactly as in Fig. 7).
+    """
+
+    values: np.ndarray
+    cell: CellType
+    weight_bits: int
+    offset: int
+
+    @property
+    def num_slices(self) -> int:
+        return self.values.shape[-1]
+
+    @property
+    def slice_factors(self) -> np.ndarray:
+        return (2 ** (self.cell.bits * np.arange(self.num_slices))).astype(np.int64)
+
+    def columns_per_weight(self) -> int:
+        return self.num_slices
+
+
+def slice_weights(
+    weight_codes: np.ndarray, cell: CellType, weight_bits: int = 8
+) -> WeightSlices:
+    """Offset-encode signed weight codes and split them into cell slices.
+
+    ``weight_codes`` is (out_features, in_features), signed integers in
+    ``[-2^(bits-1), 2^(bits-1) - 1]``.
+    """
+    weight_codes = np.asarray(weight_codes)
+    if weight_codes.ndim != 2:
+        raise ValueError(f"expected 2-D weights, got shape {weight_codes.shape}")
+    offset = 2 ** (weight_bits - 1)
+    unsigned = weight_codes.astype(np.int64) + offset
+    if unsigned.min(initial=0) < 0 or unsigned.max(initial=0) >= 2**weight_bits:
+        raise ValueError(f"weight codes exceed the signed {weight_bits}-bit range")
+    bits = int_to_bits(unsigned.T, weight_bits)  # (in, out, weight_bits)
+    num_slices = -(-weight_bits // cell.bits)
+    padded = weight_bits % cell.bits
+    if padded:
+        pad = np.zeros(bits.shape[:-1] + (cell.bits - padded,), dtype=bits.dtype)
+        bits = np.concatenate([bits, pad], axis=-1)
+    grouped = bits.reshape(bits.shape[0], bits.shape[1], num_slices, cell.bits)
+    bit_weights = 1 << np.arange(cell.bits)
+    values = (grouped * bit_weights).sum(axis=-1)
+    cell.validate_levels(values)
+    return WeightSlices(values=values, cell=cell, weight_bits=weight_bits, offset=offset)
+
+
+def input_bit_weights(input_bits: int) -> np.ndarray:
+    """Shift-and-add weights per input bit-plane (two's complement).
+
+    LSB-first: ``[1, 2, 4, ..., -2^(n-1)]`` — the MSB plane carries the
+    negative two's-complement weight, applied digitally.
+    """
+    weights = (1 << np.arange(input_bits)).astype(np.int64)
+    weights[-1] = -weights[-1]
+    return weights
+
+
+@dataclass
+class GemvStats:
+    """Operation counts collected during a crossbar GEMV (for energy hooks)."""
+
+    adc_conversions: int = 0
+    wordline_activations: int = 0
+    array_tiles: int = 0
+    cells_programmed: int = 0
+    saturated_conversions: int = 0
+    input_cycles: int = 0
+
+    def merge(self, other: "GemvStats") -> None:
+        self.adc_conversions += other.adc_conversions
+        self.wordline_activations += other.wordline_activations
+        self.array_tiles += other.array_tiles
+        self.cells_programmed += other.cells_programmed
+        self.saturated_conversions += other.saturated_conversions
+        self.input_cycles += other.input_cycles
+
+
+class ProgrammedMatrix:
+    """A weight matrix programmed (once) into noisy crossbar cells.
+
+    Static weights are written a single time before inference (Section 3.2),
+    so programming noise is *frozen* at construction; every subsequent GEMV
+    reads the same perturbed conductances.
+    """
+
+    def __init__(
+        self,
+        weight_codes: np.ndarray,
+        cell: CellType,
+        noise_sigma: float = 0.0,
+        rng: np.random.Generator | None = None,
+        config: CrossbarConfig | None = None,
+        weight_bits: int = 8,
+        adc: SarAdc | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.config = config or CrossbarConfig()
+        weight_codes = np.asarray(weight_codes, dtype=np.int64)
+        self.out_features, self.in_features = weight_codes.shape
+        self.cell = cell
+        self.slices = slice_weights(weight_codes, cell, weight_bits)
+        self.programmed = apply_multiplicative_noise(
+            self.slices.values.astype(float), noise_sigma, rng
+        )
+        self.adc = adc or SarAdc(bits=required_adc_bits(self.config.rows, cell.bits))
+
+    def gemv(
+        self,
+        input_codes: np.ndarray,
+        input_bits: int = 8,
+        stats: GemvStats | None = None,
+    ) -> np.ndarray:
+        """Bit-serial ``x @ W.T`` against the programmed cells (signed ints)."""
+        input_codes = np.atleast_2d(np.asarray(input_codes, dtype=np.int64))
+        batch, in_features = input_codes.shape
+        if in_features != self.in_features:
+            raise ValueError(
+                f"shape mismatch: inputs {input_codes.shape}, "
+                f"weights ({self.out_features}, {self.in_features})"
+            )
+        offset_inputs = input_codes + 2 ** (input_bits - 1)
+        if offset_inputs.min() < 0 or offset_inputs.max() >= 2**input_bits:
+            raise ValueError(f"input codes exceed the signed {input_bits}-bit range")
+        raw_bits = int_to_bits(input_codes & (2**input_bits - 1), input_bits)
+        bit_w = input_bit_weights(input_bits)
+        slice_f = self.slices.slice_factors
+
+        accumulator = np.zeros((batch, self.out_features), dtype=np.int64)
+        num_tiles = -(-in_features // self.config.rows)
+        for tile_index in range(num_tiles):
+            row_start = tile_index * self.config.rows
+            row_stop = min(row_start + self.config.rows, in_features)
+            tile_cells = self.programmed[row_start:row_stop]  # (rows_t, out, n_s)
+            tile_bits = raw_bits[:, row_start:row_stop, :]  # (batch, rows_t, in_bits)
+            # Analog bitline sums for every input bit-plane at once:
+            # (batch, input_bits, out, n_s)
+            sums = np.einsum("brk,ros->bkos", tile_bits.astype(float), tile_cells)
+            codes = self.adc.convert(sums)
+            if stats is not None:
+                stats.adc_conversions += codes.size
+                stats.saturated_conversions += int((codes == self.adc.full_scale).sum())
+                stats.wordline_activations += int(tile_bits.sum()) * self.slices.num_slices
+                stats.input_cycles += input_bits
+            # Digital shift & add over input-bit planes and weight slices.
+            accumulator += np.einsum("bkos,k,s->bo", codes, bit_w, slice_f)
+
+        if stats is not None:
+            col_tiles = -(-self.out_features * self.slices.num_slices // self.config.cols)
+            stats.array_tiles += num_tiles * col_tiles
+            stats.cells_programmed += self.slices.values.size
+
+        # Remove the weight offset: x @ (W + 128).T = x @ W.T + 128 * sum(x).
+        row_sums = input_codes.sum(axis=1, keepdims=True)
+        return accumulator - self.slices.offset * row_sums
+
+
+def bit_serial_gemv(
+    input_codes: np.ndarray,
+    weight_codes: np.ndarray,
+    cell: CellType,
+    noise_sigma: float = 0.0,
+    rng: np.random.Generator | None = None,
+    config: CrossbarConfig | None = None,
+    input_bits: int = 8,
+    weight_bits: int = 8,
+    adc: SarAdc | None = None,
+    stats: GemvStats | None = None,
+) -> np.ndarray:
+    """One-shot program + GEMV convenience wrapper around ProgrammedMatrix."""
+    weight_codes = np.asarray(weight_codes, dtype=np.int64)
+    if weight_codes.ndim != 2:
+        raise ValueError(f"expected 2-D weights, got shape {weight_codes.shape}")
+    matrix = ProgrammedMatrix(
+        weight_codes,
+        cell,
+        noise_sigma=noise_sigma,
+        rng=rng,
+        config=config,
+        weight_bits=weight_bits,
+        adc=adc,
+    )
+    return matrix.gemv(input_codes, input_bits=input_bits, stats=stats)

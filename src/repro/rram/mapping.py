@@ -1,0 +1,169 @@
+"""Weight-to-array mapping and the hybrid SLC/MLC rank split (Section 3.2-3.3).
+
+:class:`MappedMatrix` owns the physical placement of one weight matrix:
+how many 64x128 arrays it occupies for a given cell type, the programmed
+(noisy) cell contents, and the operation counts of every GEMV executed
+against it.
+
+:func:`split_by_rank` implements the paper's hybrid placement: after SVD,
+*rank* ``i`` corresponds to row ``i`` of ``A = Σ·Vᵀ`` and column ``i`` of
+``B = U``.  Protected ranks are placed on SLC arrays and the rest on MLC
+arrays; the two partial GEMVs recombine additively in the digital domain,
+so a single logical layer spans both cell types with no accuracy coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rram.adc import SarAdc, required_adc_bits
+from repro.rram.cell import CellType, MLC2, SLC
+from repro.rram.crossbar import CrossbarConfig, GemvStats, ProgrammedMatrix
+from repro.rram.noise import DEFAULT_NOISE, NoiseSpec
+
+__all__ = ["array_footprint", "MappedMatrix", "HybridSplit", "split_by_rank"]
+
+
+def array_footprint(
+    out_features: int,
+    in_features: int,
+    cell: CellType,
+    config: CrossbarConfig | None = None,
+    weight_bits: int = 8,
+) -> int:
+    """Number of physical arrays needed to store one weight matrix.
+
+    MLC packs ``cell.bits`` weight bits per cell, halving (for 2-bit cells)
+    the column footprint relative to SLC — the capacity benefit of Fig. 7.
+    """
+    config = config or CrossbarConfig()
+    slices_per_weight = -(-weight_bits // cell.bits)
+    row_tiles = -(-in_features // config.rows)
+    col_tiles = -(-(out_features * slices_per_weight) // config.cols)
+    return row_tiles * col_tiles
+
+
+@dataclass
+class MappedMatrix:
+    """A weight matrix resident in (simulated) analog RRAM arrays."""
+
+    weight_codes: np.ndarray  # (out, in) signed INT8 codes
+    cell: CellType
+    noise: NoiseSpec = field(default_factory=lambda: DEFAULT_NOISE)
+    config: CrossbarConfig = field(default_factory=CrossbarConfig)
+    weight_bits: int = 8
+    seed: int = 0
+    stats: GemvStats = field(default_factory=GemvStats)
+
+    def __post_init__(self) -> None:
+        self.weight_codes = np.asarray(self.weight_codes, dtype=np.int64)
+        if self.weight_codes.ndim != 2:
+            raise ValueError("weight_codes must be 2-D")
+        # Static weights are programmed exactly once; noise is frozen here.
+        self._programmed = ProgrammedMatrix(
+            self.weight_codes,
+            self.cell,
+            noise_sigma=self.noise.sigma(self.cell),
+            rng=np.random.default_rng(self.seed),
+            config=self.config,
+            weight_bits=self.weight_bits,
+        )
+        self.write_count = 1
+
+    @property
+    def out_features(self) -> int:
+        return self.weight_codes.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.weight_codes.shape[1]
+
+    @property
+    def arrays_used(self) -> int:
+        return array_footprint(
+            self.out_features, self.in_features, self.cell, self.config, self.weight_bits
+        )
+
+    @property
+    def adc(self) -> SarAdc:
+        return SarAdc(bits=required_adc_bits(self.config.rows, self.cell.bits))
+
+    def gemv(self, input_codes: np.ndarray) -> np.ndarray:
+        """Noisy analog GEMV ``x @ W.T`` (signed integer result)."""
+        return self._programmed.gemv(input_codes, stats=self.stats)
+
+    def ideal_gemv(self, input_codes: np.ndarray) -> np.ndarray:
+        """Noise-free integer reference (for error measurements)."""
+        x = np.atleast_2d(np.asarray(input_codes, dtype=np.int64))
+        return x @ self.weight_codes.T
+
+
+@dataclass
+class HybridSplit:
+    """The SLC/MLC partition of one factored layer's rank dimension."""
+
+    protected: np.ndarray  # boolean (rank,)
+    slc_a: MappedMatrix | None  # protected rows of A on SLC
+    mlc_a: MappedMatrix | None  # remaining rows of A on MLC
+    slc_b: MappedMatrix | None  # protected columns of B on SLC
+    mlc_b: MappedMatrix | None  # remaining columns of B on MLC
+
+    @property
+    def arrays_used(self) -> int:
+        return sum(
+            m.arrays_used
+            for m in (self.slc_a, self.mlc_a, self.slc_b, self.mlc_b)
+            if m is not None
+        )
+
+    def merged_stats(self) -> GemvStats:
+        total = GemvStats()
+        for m in (self.slc_a, self.mlc_a, self.slc_b, self.mlc_b):
+            if m is not None:
+                total.merge(m.stats)
+        return total
+
+
+def split_by_rank(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    protected: np.ndarray,
+    noise: NoiseSpec | None = None,
+    config: CrossbarConfig | None = None,
+    mlc_cell: CellType = MLC2,
+    seed: int = 0,
+) -> HybridSplit:
+    """Place factored weights on SLC/MLC arrays according to ``protected``.
+
+    ``a_codes`` is the INT8 code matrix of ``A = Σ·Vᵀ`` (rank x in),
+    ``b_codes`` of ``B = U`` (out x rank).  Row ``i`` of A and column ``i``
+    of B share rank ``i``'s protection decision, so a protected singular
+    direction is SLC end-to-end.
+    """
+    protected = np.asarray(protected, dtype=bool)
+    rank = len(protected)
+    a_codes = np.asarray(a_codes, dtype=np.int64)
+    b_codes = np.asarray(b_codes, dtype=np.int64)
+    if a_codes.shape[0] != rank or b_codes.shape[1] != rank:
+        raise ValueError(
+            f"rank mismatch: mask {rank}, A {a_codes.shape}, B {b_codes.shape}"
+        )
+    noise = noise or DEFAULT_NOISE
+    config = config or CrossbarConfig()
+
+    def mapped(codes: np.ndarray, cell: CellType, salt: int) -> MappedMatrix | None:
+        if codes.size == 0:
+            return None
+        return MappedMatrix(
+            weight_codes=codes, cell=cell, noise=noise, config=config, seed=seed + salt
+        )
+
+    return HybridSplit(
+        protected=protected,
+        slc_a=mapped(a_codes[protected, :], SLC, 1),
+        mlc_a=mapped(a_codes[~protected, :], mlc_cell, 2),
+        slc_b=mapped(b_codes[:, protected], SLC, 3),
+        mlc_b=mapped(b_codes[:, ~protected], mlc_cell, 4),
+    )

@@ -1,0 +1,57 @@
+"""SVD-based gradient redistribution (the paper's algorithmic contribution)."""
+
+from repro.svd.decompose import (
+    SVDFactors,
+    dense_mac_count,
+    factored_mac_count,
+    hard_threshold_rank,
+    merge_sigma,
+    reconstruction_error,
+    svd_decompose,
+    truncate_factors,
+)
+from repro.svd.finetune import (
+    FinetuneResult,
+    GradientSnapshot,
+    finetune,
+    sigma_gradient_snapshot,
+    task_loss,
+)
+from repro.svd.pipeline import (
+    GradientRedistributionPipeline,
+    LayerPlan,
+    RedistributionPlan,
+    apply_svd,
+)
+from repro.svd.selection import (
+    protected_count,
+    select_elements_by_magnitude,
+    select_ranks_by_gradient,
+    select_ranks_by_rank,
+)
+from repro.svd.svd_linear import SVDLinear
+
+__all__ = [
+    "FinetuneResult",
+    "GradientRedistributionPipeline",
+    "GradientSnapshot",
+    "LayerPlan",
+    "RedistributionPlan",
+    "SVDFactors",
+    "SVDLinear",
+    "apply_svd",
+    "dense_mac_count",
+    "factored_mac_count",
+    "finetune",
+    "hard_threshold_rank",
+    "merge_sigma",
+    "protected_count",
+    "reconstruction_error",
+    "select_elements_by_magnitude",
+    "select_ranks_by_gradient",
+    "select_ranks_by_rank",
+    "sigma_gradient_snapshot",
+    "svd_decompose",
+    "task_loss",
+    "truncate_factors",
+]

@@ -1,0 +1,87 @@
+"""SLC-protection selection policies (Section 6.2, Fig. 13).
+
+Three policies decide which portion of the factored weights is written to
+SLC RRAM (protected, high noise margin) versus MLC (efficient, noisy):
+
+- **gradient-based** (the paper's proposal): protect the ranks whose singular
+  values accumulated the largest ``|dL/dσ|`` during fine-tuning;
+- **rank-based** (ablation): protect the top-``k%`` largest singular values,
+  i.e. the leading ranks, ignoring the loss signal;
+- **magnitude-based** (ablation, no SVD): protect individual weight elements
+  with the largest ``|w|`` (L1) or ``w²`` (L2) scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "protected_count",
+    "select_ranks_by_gradient",
+    "select_ranks_by_rank",
+    "select_elements_by_magnitude",
+]
+
+
+def protected_count(total: int, protect_fraction: float) -> int:
+    """Number of protected items for a ``k%`` protection rate.
+
+    0 % protects nothing, 100 % protects everything; intermediate rates round
+    to the nearest item count but protect at least one item when nonzero.
+    """
+    if not 0.0 <= protect_fraction <= 1.0:
+        raise ValueError(f"protect_fraction must be in [0, 1], got {protect_fraction}")
+    if protect_fraction == 0.0:
+        return 0
+    if protect_fraction == 1.0:
+        return total
+    return min(total, max(1, int(round(total * protect_fraction))))
+
+
+def select_ranks_by_gradient(
+    sigma_gradients: np.ndarray, protect_fraction: float
+) -> np.ndarray:
+    """Boolean mask over ranks: True = protect in SLC (paper's policy).
+
+    ``sigma_gradients`` are accumulated ``|dL/dσ_i|`` magnitudes from
+    fine-tuning (Algorithm 1 step 4).
+    """
+    sigma_gradients = np.asarray(sigma_gradients, dtype=float)
+    n = protected_count(len(sigma_gradients), protect_fraction)
+    mask = np.zeros(len(sigma_gradients), dtype=bool)
+    if n:
+        top = np.argsort(sigma_gradients)[::-1][:n]
+        mask[top] = True
+    return mask
+
+
+def select_ranks_by_rank(sigma: np.ndarray, protect_fraction: float) -> np.ndarray:
+    """Protect the ranks with the largest singular values (brute-force)."""
+    sigma = np.asarray(sigma, dtype=float)
+    n = protected_count(len(sigma), protect_fraction)
+    mask = np.zeros(len(sigma), dtype=bool)
+    if n:
+        top = np.argsort(sigma)[::-1][:n]
+        mask[top] = True
+    return mask
+
+
+def select_elements_by_magnitude(
+    weight: np.ndarray, protect_fraction: float, norm: str = "l1"
+) -> np.ndarray:
+    """Elementwise protection mask over a dense weight matrix (no SVD).
+
+    ``norm`` chooses the importance score: ``"l1"`` uses ``|w|``, ``"l2"``
+    uses ``w²`` (identical ordering for single elements; both are kept to
+    mirror the figure's two rows, and they differ for grouped variants).
+    """
+    if norm not in ("l1", "l2"):
+        raise ValueError(f"norm must be 'l1' or 'l2', got {norm!r}")
+    weight = np.asarray(weight, dtype=float)
+    score = np.abs(weight) if norm == "l1" else weight**2
+    n = protected_count(weight.size, protect_fraction)
+    mask = np.zeros(weight.size, dtype=bool)
+    if n:
+        top = np.argsort(score.reshape(-1))[::-1][:n]
+        mask[top] = True
+    return mask.reshape(weight.shape)

@@ -1,0 +1,74 @@
+"""Tests for hardware constants (Table 2) and area/power roll-ups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    ANALOG_MODULE,
+    DEFAULT_HARDWARE,
+    DIGITAL_MODULE,
+    area_report,
+    table2_rows,
+)
+
+
+class TestTable2Constants:
+    def test_analog_module_sum_matches_paper(self):
+        # Table 2: analog module sums to 0.47 mm^2 and 930.69 mW.
+        assert ANALOG_MODULE.module_area_mm2() == pytest.approx(0.47, abs=0.01)
+        assert ANALOG_MODULE.module_power_mw() == pytest.approx(930.69, abs=0.5)
+
+    def test_analog_pu_totals_match_paper(self):
+        # 24 modules per PU: 11.24 mm^2, 22,336.59 mW (rounding per paper).
+        assert ANALOG_MODULE.pu_area_mm2() == pytest.approx(11.24, abs=0.1)
+        assert ANALOG_MODULE.pu_power_mw() == pytest.approx(22_336.59, abs=10)
+
+    def test_digital_module_sum_matches_paper(self):
+        assert DIGITAL_MODULE.module_area_mm2() == pytest.approx(8.01, abs=0.01)
+        assert DIGITAL_MODULE.module_power_mw() == pytest.approx(6_532.05, abs=1.0)
+
+    def test_digital_pu_totals_match_paper(self):
+        assert DIGITAL_MODULE.pu_area_mm2() == pytest.approx(64.05, abs=0.1)
+        assert DIGITAL_MODULE.pu_power_mw() == pytest.approx(52_256.41, abs=10)
+
+    def test_adc_dominates_analog_power(self):
+        # Paper: ADC is 55 % of analog module power, WL drivers 32 %.
+        adc = ANALOG_MODULE.component("adc")
+        assert adc.power_mw / ANALOG_MODULE.module_power_mw() == pytest.approx(0.55, abs=0.01)
+        wl = ANALOG_MODULE.component("wl_drv")
+        assert wl.power_mw / ANALOG_MODULE.module_power_mw() == pytest.approx(0.32, abs=0.01)
+
+    def test_component_lookup(self):
+        assert ANALOG_MODULE.component("adc").count == 512
+        with pytest.raises(KeyError):
+            ANALOG_MODULE.component("gpu")
+
+    def test_digital_throughput_balance(self):
+        assert DEFAULT_HARDWARE.digital_ops_per_cycle_per_module() == pytest.approx(
+            273.07, abs=0.1
+        )
+
+    def test_capacities(self):
+        hw = DEFAULT_HARDWARE
+        # Analog: 24 modules x 512 arrays x 64x128 cells = 12 MB SLC per PU.
+        assert hw.analog_slc_capacity_bytes_per_pu() == 24 * 512 * 64 * 128 // 8
+        # Digital: 8 modules x 256 arrays x 128 KB = 256 MB per PU.
+        assert hw.digital_capacity_bytes_per_pu() == 8 * 256 * 128 * 1024
+
+
+class TestAreaReport:
+    def test_rollup_consistency(self):
+        report = area_report()
+        assert report.pu_mm2 == pytest.approx(
+            report.analog_module_mm2 * 24 + report.digital_module_mm2 * 8
+        )
+        assert report.chip_mm2 == pytest.approx(report.pu_mm2 * 24)
+
+    def test_table2_rows_regeneration(self):
+        rows = table2_rows(ANALOG_MODULE)
+        names = [r["component"] for r in rows]
+        assert names[:7] == ["rram_array", "ir", "or", "wl_drv", "adc", "s_and_a", "s_and_h"]
+        assert names[-2:] == ["sum", "total_per_pu"]
+        shares = [r["power_share"] for r in rows[:7]]
+        assert sum(shares) == pytest.approx(1.0)

@@ -1,0 +1,151 @@
+"""Tests for the HyFlexPIM energy and latency models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import HyFlexPimEnergyModel, HyFlexPimLatencyModel
+from repro.models import paper_model
+
+
+@pytest.fixture(scope="module")
+def energy():
+    return HyFlexPimEnergyModel()
+
+
+@pytest.fixture(scope="module")
+def latency():
+    return HyFlexPimLatencyModel()
+
+
+@pytest.fixture(scope="module")
+def bert():
+    return paper_model("bert-large")
+
+
+class TestWaveEnergies:
+    def test_adc_per_conversion_matches_table2(self, energy):
+        """512 mW over 512 ADCs at 1.28 GSps -> 0.78 pJ per 6-b conversion."""
+        per_conversion = energy.wave.adc_6b_pj / 128  # 128 conversions per wave
+        assert per_conversion == pytest.approx(0.781, abs=0.01)
+
+    def test_7b_doubles_6b(self, energy):
+        assert energy.wave.adc_7b_pj == 2 * energy.wave.adc_6b_pj
+
+    def test_adc_share_of_slc_wave(self, energy):
+        """ADC must be ~55 % of SLC analog energy, per Table 2's power split."""
+        share = energy.wave.adc_6b_pj / energy.wave.per_wave_pj(1)
+        assert share == pytest.approx(0.55, abs=0.02)
+
+    def test_mlc_wave_costs_more_but_halves_arrays(self, energy):
+        slc = energy.wave.per_wave_pj(1)
+        mlc = energy.wave.per_wave_pj(2)
+        assert mlc > slc
+        # Half the arrays at higher per-wave cost must still win overall.
+        assert 0.5 * mlc < slc
+
+
+class TestGemvEnergy:
+    def test_mlc_saves_energy_at_equal_adc(self, energy):
+        slc = energy.gemv_energy(768, 768, cell_bits=1, tokens=128)
+        mlc = energy.gemv_energy(768, 768, cell_bits=2, tokens=128)
+        # ADC energy identical (paper Section 3.2)...
+        assert mlc.categories["adc"] == pytest.approx(slc.categories["adc"], rel=0.01)
+        # ...every other analog component halves.
+        assert mlc.categories["rram_analog"] == pytest.approx(
+            slc.categories["rram_analog"] / 2, rel=0.01
+        )
+        assert mlc.categories["wl_drv_analog"] == pytest.approx(
+            slc.categories["wl_drv_analog"] / 2, rel=0.01
+        )
+        # Net MLC saving ~20-25 %.
+        ratio = mlc.total_pj() / slc.total_pj()
+        assert 0.70 < ratio < 0.85
+
+    def test_energy_scales_with_tokens(self, energy):
+        one = energy.gemv_energy(768, 768, 1, tokens=1).total_pj()
+        many = energy.gemv_energy(768, 768, 1, tokens=128).total_pj()
+        assert many == pytest.approx(128 * one)
+
+    def test_factored_energy_increases_with_slc_rate(self, energy):
+        totals = [
+            energy.factored_layer_energy(768, 768, rate, tokens=128).total_pj()
+            for rate in (0.05, 0.3, 0.5, 1.0)
+        ]
+        assert all(a < b for a, b in zip(totals, totals[1:]))
+
+    def test_rate_validation(self, energy):
+        with pytest.raises(ValueError):
+            energy.factored_layer_energy(64, 64, 1.5, tokens=1)
+
+    def test_linear_layers_scale_with_depth(self, energy):
+        base = paper_model("bert-base")
+        large = paper_model("bert-large")
+        e_base = energy.linear_layers_energy(base, 128, 0.1).total_pj()
+        e_large = energy.linear_layers_energy(large, 128, 0.1).total_pj()
+        assert e_large > 2 * e_base  # 2x layers and wider
+
+
+class TestEndToEnd:
+    def test_breakdown_categories_present(self, energy, bert):
+        breakdown = energy.end_to_end_energy(bert, 1024, 0.05)
+        for category in (
+            "adc",
+            "rram_analog",
+            "wl_drv_analog",
+            "attention_dot",
+            "rram_write_digital",
+            "sfu",
+        ):
+            assert breakdown.categories.get(category, 0) > 0, category
+
+    def test_adc_is_dominant_category(self, energy, bert):
+        """Fig. 15(b): the linear-layer ADC dominates HyFlexPIM's energy."""
+        shares = energy.end_to_end_energy(bert, 128, 0.05).shares()
+        assert max(shares, key=shares.get) == "adc"
+        assert shares["adc"] > 0.35
+
+    def test_shares_sum_to_one(self, energy, bert):
+        shares = energy.end_to_end_energy(bert, 512, 0.1).shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_attention_share_grows_with_n(self, energy, bert):
+        short = energy.end_to_end_energy(bert, 128, 0.05).shares()["attention_dot"]
+        long = energy.end_to_end_energy(bert, 4096, 0.05).shares()["attention_dot"]
+        assert long > short
+
+
+class TestLatency:
+    def test_gemv_wave_is_900ns(self, latency):
+        assert latency.gemv_wave_s() == pytest.approx(900e-9)
+
+    def test_mlc_halves_layer_demand(self, latency, bert):
+        all_slc = latency.layer_array_demand(bert, 1.0)
+        all_mlc = latency.layer_array_demand(bert, 0.0)
+        assert all_mlc == pytest.approx(all_slc / 2, rel=0.05)
+
+    def test_bert_large_dense_layer_fills_one_pu(self, latency, bert):
+        """Dense SLC BERT-Large layer: 12,288 arrays = exactly one PU."""
+        demand = latency.dense_layer_array_demand(bert)
+        assert demand == 24 * 512
+
+    def test_throughput_rises_as_slc_rate_falls(self, latency, bert):
+        rates = [latency.tokens_per_second(bert, 128, r) for r in (1.0, 0.5, 0.05)]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_mlc_throughput_bound_is_2x(self, latency, bert):
+        """Fig. 16's ceiling: all-MLC at most doubles all-SLC throughput."""
+        speedup = latency.tokens_per_second(bert, 128, 0.0) / latency.tokens_per_second(
+            bert, 128, 1.0
+        )
+        assert 1.7 < speedup <= 2.05
+
+    def test_chips_scale_throughput(self, latency, bert):
+        one = latency.tokens_per_second(bert, 128, 0.1, num_chips=1)
+        two = latency.tokens_per_second(bert, 128, 0.1, num_chips=2)
+        assert two == pytest.approx(2 * one, rel=0.01)
+
+    def test_inference_time_modes(self, latency, bert):
+        assert latency.inference_time_s(bert, 128, 0.1, mode="prefill") > 0
+        with pytest.raises(ValueError):
+            latency.inference_time_s(bert, 128, 0.1, mode="training")

@@ -1,0 +1,86 @@
+"""Tests for interconnect models and the Fig. 17 scalability analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    OCI_LINK,
+    PCIE6_LINK,
+    ScalabilityModel,
+    hidden_vector_handoff_cycles,
+    partial_sum_aggregation_cycles,
+    transfer_cycles,
+)
+from repro.models import paper_model
+
+
+class TestInterconnect:
+    def test_bandwidths_match_paper(self):
+        assert OCI_LINK.bandwidth_gbps == 1000.0
+        assert PCIE6_LINK.bandwidth_gbps == 128.0
+
+    def test_hidden_vector_handoff_in_paper_range(self):
+        """Section 3.1: 0.75-2 KB hidden vectors cross chips in 6-16 cycles."""
+        small = hidden_vector_handoff_cycles(768)
+        large = hidden_vector_handoff_cycles(2048)
+        assert 5.0 <= small <= 10.0
+        assert 10.0 <= large <= 20.0
+
+    def test_partial_sum_aggregation_near_paper(self):
+        """Section 3.1: <3 KB per PU aggregates in ~24 cycles."""
+        cycles = partial_sum_aggregation_cycles(9)
+        assert 15.0 <= cycles <= 30.0
+        assert partial_sum_aggregation_cycles(1) == 0.0
+
+    def test_transfer_validation(self):
+        with pytest.raises(ValueError):
+            OCI_LINK.transfer_seconds(-1)
+        with pytest.raises(ValueError):
+            partial_sum_aggregation_cycles(0)
+
+    def test_transfer_cycles_scale_linearly(self):
+        a = transfer_cycles(OCI_LINK, 1024)
+        b = transfer_cycles(OCI_LINK, 2048)
+        assert b == pytest.approx(2 * a)
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ScalabilityModel()
+
+    def test_gpt2_fits_single_chip(self, model):
+        assert model.min_chips(paper_model("gpt2"), 0.2, 8192) == 1
+
+    def test_llama3_needs_two_chips(self, model):
+        """Section 6.3.5: Llama3 requires two chips at minimum."""
+        assert model.min_chips(paper_model("llama3-1b"), 0.2, 8192) == 2
+
+    def test_llama3_needs_multiple_pus_per_layer(self, model):
+        """A single PU cannot hold one Llama3 layer (Section 6.3.5)."""
+        assert model.min_pus_per_layer(paper_model("llama3-1b"), 0.2) >= 2
+
+    def test_gpt2_two_pu_speedup_near_paper(self, model):
+        """Paper: 1.99x from assigning two PUs per GPT-2 layer."""
+        gpt2 = paper_model("gpt2")
+        one = model.throughput(gpt2, 8192, 0.2, 1, pus_per_layer=1)
+        two = model.throughput(gpt2, 8192, 0.2, 1, pus_per_layer=2)
+        ratio = two.tokens_per_second / one.tokens_per_second
+        assert 1.9 < ratio <= 2.0
+
+    def test_llama3_multichip_scaling_near_paper(self, model):
+        """Paper: quad/octa chips reach 1.96x/3.65x over the dual baseline."""
+        reports = model.scaling_curve(paper_model("llama3-1b"), 8192, 0.2, (2, 4, 8))
+        assert reports[0].normalized_throughput == pytest.approx(1.0)
+        assert 1.8 < reports[1].normalized_throughput <= 2.05
+        assert 3.2 < reports[2].normalized_throughput <= 4.1
+
+    def test_all_llama3_configs_fit(self, model):
+        for report in model.scaling_curve(paper_model("llama3-1b"), 8192, 0.2, (2, 4, 8)):
+            assert report.fits
+
+    def test_memory_demand_positive(self, model):
+        demand = model.memory_demand(paper_model("llama3-1b"), 8192)
+        assert demand["analog_bytes"] > 5e8  # ~0.8 GB INT8 weights
+        assert demand["digital_bytes"] > 1e8  # KV cache at N=8192

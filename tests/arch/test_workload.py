@@ -1,0 +1,80 @@
+"""Tests for the Fig. 2 workload op-count model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import STAGES, memory_footprint_bytes, stage_op_counts
+from repro.models import paper_model
+
+
+class TestStageOpCounts:
+    def test_all_stages_present(self):
+        ops = stage_op_counts(paper_model("bert-base"), 128)
+        assert set(ops.counts) == set(STAGES)
+        assert all(v > 0 for v in ops.counts.values())
+
+    def test_linear_dominates_at_short_sequences(self):
+        """Fig. 2 / Section 1: >70 % of computations come from static weights."""
+        ops = stage_op_counts(paper_model("bert-base"), 128)
+        assert ops.linear_total() / ops.total() > 0.7
+
+    def test_attention_grows_quadratically(self):
+        spec = paper_model("bert-base")
+        a1 = stage_op_counts(spec, 512).attention_total()
+        a2 = stage_op_counts(spec, 1024).attention_total()
+        assert a2 / a1 == pytest.approx(4.0)
+
+    def test_linear_grows_linearly(self):
+        spec = paper_model("bert-base")
+        l1 = stage_op_counts(spec, 512).linear_total()
+        l2 = stage_op_counts(spec, 1024).linear_total()
+        assert l2 / l1 == pytest.approx(2.0)
+
+    def test_attention_overtakes_at_long_sequences(self):
+        """Fig. 2's crossover: score/PV stages dominate at N >= ~3072."""
+        spec = paper_model("bert-base")
+        short = stage_op_counts(spec, 128)
+        long = stage_op_counts(spec, 8192)
+        assert short.attention_total() < short.linear_total()
+        assert long.attention_total() > long.linear_total()
+
+    def test_ffn_is_largest_linear_stage(self):
+        ops = stage_op_counts(paper_model("bert-base"), 128)
+        assert ops.counts["ffn1"] > ops.counts["qkv_fc"] / 3
+        assert ops.counts["ffn1"] == ops.counts["ffn2"]
+
+    def test_qkv_is_three_projections(self):
+        ops = stage_op_counts(paper_model("bert-base"), 128)
+        assert ops.counts["qkv_fc"] == pytest.approx(3 * ops.counts["proj_fc"])
+
+    def test_decode_mode_attention_is_half_prefill(self):
+        spec = paper_model("gpt2")
+        prefill = stage_op_counts(spec, 1024, mode="prefill").attention_total()
+        decode = stage_op_counts(spec, 1024, mode="decode").attention_total()
+        assert decode / prefill == pytest.approx(0.5, abs=0.01)
+
+    def test_validation(self):
+        spec = paper_model("bert-base")
+        with pytest.raises(ValueError):
+            stage_op_counts(spec, 0)
+        with pytest.raises(ValueError):
+            stage_op_counts(spec, 128, mode="training")
+
+
+class TestMemoryFootprint:
+    def test_weight_bytes_match_spec(self):
+        spec = paper_model("gpt2")
+        footprint = memory_footprint_bytes(spec, 1024)
+        assert footprint["analog_weights"] == spec.static_weight_bytes()
+
+    def test_kv_cache_scales_with_sequence(self):
+        spec = paper_model("llama3-1b")
+        short = memory_footprint_bytes(spec, 1024)["kv_cache"]
+        long = memory_footprint_bytes(spec, 8192)["kv_cache"]
+        assert long == pytest.approx(8 * short)
+
+    def test_llama3_larger_than_gpt2(self):
+        gpt2 = memory_footprint_bytes(paper_model("gpt2"), 8192)["total"]
+        llama = memory_footprint_bytes(paper_model("llama3-1b"), 8192)["total"]
+        assert llama > 2 * gpt2

@@ -1,0 +1,34 @@
+"""Shared fixtures for the HyFlexPIM reproduction test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    grad = np.zeros_like(x, dtype=float)
+    flat = grad.reshape(-1)
+    x_flat = x.reshape(-1)
+    for i in range(x_flat.size):
+        original = x_flat[i]
+        x_flat[i] = original + eps
+        f_plus = f(x)
+        x_flat[i] = original - eps
+        f_minus = f(x)
+        x_flat[i] = original
+        flat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+@pytest.fixture
+def grad_checker():
+    """Expose the numerical gradient helper to tests."""
+    return numerical_gradient

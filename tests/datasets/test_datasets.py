@@ -1,0 +1,153 @@
+"""Tests for the synthetic GLUE / LM / vision workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CIFAR10_LIKE_CLASSES,
+    CLS_TOKEN,
+    GLUE_TASKS,
+    SEP_TOKEN,
+    make_glue_task,
+    make_vision_dataset,
+    ptb_like,
+    wikitext2_like,
+)
+from repro.datasets.synthetic_vision import VisionSpec
+
+
+class TestGlueTasks:
+    @pytest.mark.parametrize("name", sorted(GLUE_TASKS))
+    def test_shapes_and_token_ranges(self, name):
+        data = make_glue_task(name, seed=0)
+        spec = data.spec
+        assert data.train.inputs.shape == (spec.train_size, spec.seq_len)
+        assert data.test.inputs.shape == (spec.test_size, spec.seq_len)
+        assert data.train.inputs.min() >= 0
+        assert data.train.inputs.max() < spec.vocab_size
+        assert (data.train.inputs[:, 0] == CLS_TOKEN).all()
+
+    @pytest.mark.parametrize("name", ["mrpc", "qnli", "qqp", "rte", "stsb"])
+    def test_pair_tasks_contain_separator(self, name):
+        data = make_glue_task(name, seed=0)
+        assert (data.train.inputs == SEP_TOKEN).any(axis=1).all()
+
+    @pytest.mark.parametrize("name", ["cola", "mrpc", "qnli", "qqp", "rte", "sst2"])
+    def test_classification_labels_balanced(self, name):
+        data = make_glue_task(name, seed=0)
+        rate = data.train.targets.mean()
+        assert 0.3 < rate < 0.7, f"{name} labels degenerate: positive rate {rate}"
+
+    def test_stsb_targets_span_range(self):
+        data = make_glue_task("stsb", seed=0)
+        assert data.train.targets.min() >= 0.0
+        assert data.train.targets.max() <= 5.0
+        assert data.train.targets.std() > 0.5
+
+    def test_generation_is_deterministic(self):
+        a = make_glue_task("mrpc", seed=7)
+        b = make_glue_task("mrpc", seed=7)
+        np.testing.assert_array_equal(a.train.inputs, b.train.inputs)
+        np.testing.assert_array_equal(a.train.targets, b.train.targets)
+
+    def test_different_seeds_differ(self):
+        a = make_glue_task("mrpc", seed=1)
+        b = make_glue_task("mrpc", seed=2)
+        assert not np.array_equal(a.train.inputs, b.train.inputs)
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            make_glue_task("mnli")
+
+    def test_tasks_are_learnable_by_simple_probe(self):
+        """A bag-of-tokens logistic signal must exist in sst2 (sanity check
+        that the task is not pure noise)."""
+        data = make_glue_task("sst2", seed=0)
+        vocab = data.spec.vocab_size
+        counts = np.zeros((len(data.train), vocab))
+        for i, row in enumerate(data.train.inputs):
+            counts[i] = np.bincount(row, minlength=vocab)
+        # Correlation between class and token histogram must be substantial.
+        label_centered = data.train.targets - data.train.targets.mean()
+        corr = np.abs(counts.T @ label_centered)
+        assert corr.max() > len(data.train) * 0.1
+
+
+class TestLMCorpora:
+    @pytest.mark.parametrize("factory", [wikitext2_like, ptb_like])
+    def test_shapes_and_alignment(self, factory):
+        corpus = factory(seed=0)
+        spec = corpus.spec
+        assert corpus.train.inputs.shape == (spec.train_sequences, spec.seq_len)
+        # Targets are inputs shifted by one within the same underlying stream.
+        np.testing.assert_array_equal(
+            corpus.train.inputs[:, 1:], corpus.train.targets[:, :-1]
+        )
+
+    def test_transition_matrix_is_stochastic(self):
+        corpus = ptb_like(seed=0)
+        np.testing.assert_allclose(corpus.transition.sum(axis=1), 1.0, atol=1e-9)
+        assert (corpus.transition >= 0).all()
+
+    def test_entropy_rate_below_uniform(self):
+        corpus = wikitext2_like(seed=0)
+        assert corpus.entropy_rate < np.log(corpus.spec.vocab_size) * 0.8
+
+    def test_corpus_statistics_match_chain(self):
+        """Empirical bigram frequencies should correlate with the chain."""
+        corpus = ptb_like(seed=0)
+        vocab = corpus.spec.vocab_size
+        counts = np.zeros((vocab, vocab))
+        inputs, targets = corpus.train.inputs, corpus.train.targets
+        for row_in, row_out in zip(inputs, targets):
+            np.add.at(counts, (row_in, row_out), 1.0)
+        empirical = counts / np.maximum(counts.sum(axis=1, keepdims=True), 1)
+        mask = counts.sum(axis=1) > 50
+        corr = np.corrcoef(
+            empirical[mask].reshape(-1), corpus.transition[mask].reshape(-1)
+        )[0, 1]
+        assert corr > 0.9
+
+    def test_deterministic(self):
+        a = wikitext2_like(seed=3)
+        b = wikitext2_like(seed=3)
+        np.testing.assert_array_equal(a.train.inputs, b.train.inputs)
+
+
+class TestVisionDataset:
+    def test_shapes(self):
+        spec = VisionSpec(image_size=16, train_size=40, test_size=10)
+        data = make_vision_dataset(spec, seed=0)
+        assert data.train.inputs.shape == (40, 3, 16, 16)
+        assert data.test.inputs.shape == (10, 3, 16, 16)
+        assert data.train.targets.min() >= 0
+        assert data.train.targets.max() < 10
+
+    def test_ten_classes(self):
+        assert len(CIFAR10_LIKE_CLASSES) == 10
+
+    def test_normalized_statistics(self):
+        data = make_vision_dataset(VisionSpec(image_size=16, train_size=60, test_size=20))
+        all_pixels = np.concatenate([data.train.inputs.ravel(), data.test.inputs.ravel()])
+        assert abs(all_pixels.mean()) < 0.05
+        assert abs(all_pixels.std() - 1.0) < 0.05
+
+    def test_classes_are_visually_distinct(self):
+        """Mean images of different classes must differ far above noise."""
+        spec = VisionSpec(image_size=16, train_size=300, test_size=20, noise_std=0.1)
+        data = make_vision_dataset(spec, seed=0)
+        means = []
+        for c in range(3):
+            mask = data.train.targets == c
+            if mask.sum():
+                means.append(data.train.inputs[mask].mean(axis=0))
+        dist = np.abs(means[0] - means[1]).mean()
+        assert dist > 0.1
+
+    def test_deterministic(self):
+        spec = VisionSpec(image_size=8, train_size=10, test_size=5)
+        a = make_vision_dataset(spec, seed=1)
+        b = make_vision_dataset(spec, seed=1)
+        np.testing.assert_array_equal(a.train.inputs, b.train.inputs)

@@ -1,0 +1,87 @@
+"""Tests for evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    accuracy,
+    matthews_correlation,
+    pearson_correlation,
+    perplexity,
+    metric_for_task,
+)
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 0, 1])) == 1.0
+        assert accuracy(np.array([1, 1, 1]), np.array([0, 0, 0])) == 0.0
+
+    def test_partial(self):
+        assert accuracy(np.array([1, 0, 1, 0]), np.array([1, 0, 0, 1])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(4))
+
+
+class TestMatthews:
+    def test_perfect_prediction_is_one(self):
+        y = np.array([0, 1, 0, 1, 1])
+        assert matthews_correlation(y, y) == pytest.approx(1.0)
+
+    def test_inverted_prediction_is_minus_one(self):
+        y = np.array([0, 1, 0, 1])
+        assert matthews_correlation(1 - y, y) == pytest.approx(-1.0)
+
+    def test_constant_prediction_is_zero(self):
+        assert matthews_correlation(np.ones(6, dtype=int), np.array([0, 1, 0, 1, 0, 1])) == 0.0
+
+    def test_random_prediction_near_zero(self):
+        rng = np.random.default_rng(0)
+        preds = rng.integers(0, 2, size=10_000)
+        targets = rng.integers(0, 2, size=10_000)
+        assert abs(matthews_correlation(preds, targets)) < 0.05
+
+
+class TestPearson:
+    def test_linear_relation_is_one(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 3) == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_returns_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+
+class TestPerplexity:
+    def test_uniform_model(self):
+        assert perplexity(np.log(50)) == pytest.approx(50.0)
+
+    def test_zero_loss(self):
+        assert perplexity(0.0) == 1.0
+
+
+class TestMetricForTask:
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            metric_for_task("ranking", "accuracy")
+
+    def test_unknown_classification_metric(self):
+        evaluator = metric_for_task("classification", "f1")
+        from repro.nn import ArrayDataset, Linear
+
+        with pytest.raises(ValueError):
+            evaluator(_ArgmaxModel(), ArrayDataset(np.zeros((2, 2)), np.zeros(2)))
+
+
+class _ArgmaxModel:
+    def __call__(self, x):
+        from repro.nn import Tensor
+
+        return Tensor(np.zeros((len(x), 2)))

@@ -1,0 +1,128 @@
+"""Tests for losses and the data pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ArrayDataset,
+    BatchIterator,
+    Tensor,
+    cross_entropy,
+    lm_cross_entropy,
+    mse_loss,
+    train_test_split,
+)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 2, 1, 1])
+        loss = cross_entropy(Tensor(logits), targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = cross_entropy(Tensor(logits), np.array([0, 1]))
+        assert float(loss.data) < 1e-6
+
+    def test_uniform_logits_give_log_classes(self):
+        logits = np.zeros((5, 4))
+        loss = cross_entropy(Tensor(logits), np.zeros(5, dtype=int))
+        assert float(loss.data) == pytest.approx(np.log(4))
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        targets = np.array([1, 0])
+        cross_entropy(logits, targets).backward()
+        probs = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        onehot = np.eye(3)[targets]
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 2, atol=1e-10)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4))), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.zeros(3, dtype=int))
+
+
+class TestLmCrossEntropy:
+    def test_equals_flat_cross_entropy(self, rng):
+        logits = rng.normal(size=(2, 5, 7))
+        targets = rng.integers(0, 7, size=(2, 5))
+        a = float(lm_cross_entropy(Tensor(logits), targets).data)
+        b = float(cross_entropy(Tensor(logits.reshape(10, 7)), targets.reshape(-1)).data)
+        assert a == pytest.approx(b)
+
+    def test_perplexity_of_uniform_model_is_vocab(self):
+        logits = np.zeros((1, 4, 11))
+        loss = lm_cross_entropy(Tensor(logits), np.zeros((1, 4), dtype=int))
+        assert np.exp(float(loss.data)) == pytest.approx(11.0)
+
+
+class TestMSE:
+    def test_matches_numpy(self, rng):
+        preds = rng.normal(size=(6,))
+        targets = rng.normal(size=(6,))
+        loss = mse_loss(Tensor(preds), targets)
+        assert float(loss.data) == pytest.approx(((preds - targets) ** 2).mean())
+
+    def test_gradient(self, rng):
+        preds = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        mse_loss(preds, np.array([0.0, 0.0])).backward()
+        np.testing.assert_allclose(preds.grad, [1.0, 2.0])
+
+
+class TestData:
+    def test_dataset_length_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_batch_iterator_covers_everything(self, rng):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        batches = list(BatchIterator(ds, batch_size=3, shuffle=False, rng=rng))
+        assert len(batches) == 4
+        seen = np.concatenate([t for _, t in batches])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_drop_last(self, rng):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        it = BatchIterator(ds, batch_size=3, shuffle=False, rng=rng, drop_last=True)
+        assert len(it) == 3
+        assert sum(1 for _ in it) == 3
+
+    def test_shuffle_is_deterministic_given_rng(self):
+        ds = ArrayDataset(np.arange(8).reshape(8, 1), np.arange(8))
+        a = [t.tolist() for _, t in BatchIterator(ds, 4, rng=np.random.default_rng(5))]
+        b = [t.tolist() for _, t in BatchIterator(ds, 4, rng=np.random.default_rng(5))]
+        assert a == b
+
+    def test_alignment_preserved_under_shuffle(self, rng):
+        inputs = np.arange(20).reshape(20, 1)
+        targets = np.arange(20) * 10
+        it = BatchIterator(ArrayDataset(inputs, targets), 5, shuffle=True, rng=rng)
+        for x, y in it:
+            np.testing.assert_array_equal(x[:, 0] * 10, y)
+
+    def test_train_test_split_partition(self, rng):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        train, test = train_test_split(ds, 0.3, rng)
+        assert len(train) == 7 and len(test) == 3
+        combined = np.sort(np.concatenate([train.targets, test.targets]))
+        np.testing.assert_array_equal(combined, np.arange(10))
+
+    def test_split_rejects_bad_fraction(self, rng):
+        ds = ArrayDataset(np.zeros((4, 1)), np.zeros(4))
+        with pytest.raises(ValueError):
+            train_test_split(ds, 1.5, rng)
+
+    def test_batch_size_validation(self, rng):
+        ds = ArrayDataset(np.zeros((4, 1)), np.zeros(4))
+        with pytest.raises(ValueError):
+            BatchIterator(ds, 0, rng=rng)

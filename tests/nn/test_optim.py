@@ -1,0 +1,123 @@
+"""Tests for optimizers, schedules and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import AdamW, LinearWarmupSchedule, Parameter, SGD, Tensor, clip_grad_norm
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """Convex bowl with minimum at 3."""
+    diff = param - 3.0
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0 * np.ones(4), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter(np.zeros(2))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                loss = quadratic_loss(p)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            losses[momentum] = float(quadratic_loss(p).data)
+        assert losses[0.9] < losses[0.0]
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad accumulated: should be a no-op
+        np.testing.assert_allclose(p.data, np.ones(2))
+
+
+class TestAdamW:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = AdamW([p], lr=0.1, weight_decay=0.0)
+        for _ in range(200):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0 * np.ones(4), atol=1e-2)
+
+    def test_weight_decay_is_decoupled(self):
+        # With zero gradient, AdamW weight decay still shrinks parameters.
+        p = Parameter(np.ones(3))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(3)
+        opt.step()
+        np.testing.assert_allclose(p.data, np.ones(3) * (1 - 0.1 * 0.5))
+
+    def test_first_step_magnitude_close_to_lr(self):
+        # Adam's bias correction makes the first update ~= lr * sign(grad).
+        p = Parameter(np.zeros(1))
+        opt = AdamW([p], lr=0.01, weight_decay=0.0)
+        p.grad = np.array([5.0])
+        opt.step()
+        np.testing.assert_allclose(np.abs(p.data), [0.01], rtol=1e-6)
+
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(ValueError):
+            AdamW([Parameter(np.zeros(1))], lr=-1.0)
+        with pytest.raises(ValueError):
+            AdamW([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.999))
+        with pytest.raises(ValueError):
+            AdamW([], lr=0.1)
+
+
+class TestSchedule:
+    def test_warmup_then_decay(self):
+        p = Parameter(np.zeros(1))
+        opt = AdamW([p], lr=1.0)
+        sched = LinearWarmupSchedule(opt, warmup_steps=10, total_steps=110)
+        lrs = [sched.step() for _ in range(110)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[9] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.0)
+        assert max(lrs) == pytest.approx(1.0)
+
+    def test_zero_warmup(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=2.0)
+        sched = LinearWarmupSchedule(opt, warmup_steps=0, total_steps=4)
+        first = sched.step()
+        assert first == pytest.approx(1.5)
+
+    def test_rejects_bad_steps(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(opt, warmup_steps=10, total_steps=5)
+
+
+class TestClipGradNorm:
+    def test_scales_large_gradients(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([3.0, 4.0, 0.0])  # norm 5
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])

@@ -1,0 +1,170 @@
+"""Tests for HybridLinear: the hybrid SLC/MLC deployment layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Tensor
+from repro.pim import HybridLinear, attach_hybrid_layers
+from repro.rram import NoiseSpec
+from repro.svd.pipeline import LayerPlan
+
+
+def make_plan(rank: int, in_f: int, out_f: int, protect: int, rng, bias=True) -> LayerPlan:
+    mask = np.zeros(rank, dtype=bool)
+    mask[:protect] = True
+    return LayerPlan(
+        name="blocks.0.w_q",
+        a_matrix=rng.normal(size=(rank, in_f)) / np.sqrt(in_f),
+        b_matrix=rng.normal(size=(out_f, rank)) / np.sqrt(rank),
+        bias=np.zeros(out_f) if bias else None,
+        protected_ranks=mask,
+        sigma_gradients=rng.random(rank),
+    )
+
+
+def reference_output(plan: LayerPlan, x: np.ndarray) -> np.ndarray:
+    out = (x @ plan.a_matrix.T) @ plan.b_matrix.T
+    if plan.bias is not None:
+        out = out + plan.bias
+    return out
+
+
+class TestConstruction:
+    def test_mode_validation(self, rng):
+        plan = make_plan(8, 16, 16, 2, rng)
+        with pytest.raises(ValueError):
+            HybridLinear(plan, mode="analog")
+
+    def test_repr_mentions_protection(self, rng):
+        layer = HybridLinear(make_plan(8, 16, 16, 3, rng))
+        assert "protected=3" in repr(layer)
+
+    def test_arrays_used_positive_both_modes(self, rng):
+        plan = make_plan(8, 64, 64, 2, rng)
+        fast = HybridLinear(plan, mode="fast")
+        xbar = HybridLinear(plan, mode="crossbar")
+        assert fast.arrays_used() == xbar.arrays_used() > 0
+
+
+class TestNoiselessAgreement:
+    @pytest.mark.parametrize("mode", ["fast", "crossbar"])
+    def test_matches_float_reference_without_noise(self, mode, rng):
+        plan = make_plan(8, 32, 24, 2, rng)
+        layer = HybridLinear(plan, noise=NoiseSpec.noiseless(), mode=mode)
+        x = rng.normal(size=(5, 32))
+        out = layer(Tensor(x)).data
+        ref = reference_output(plan, x)
+        # Only INT8 quantization separates the two paths.
+        rel = np.abs(out - ref).mean() / np.abs(ref).mean()
+        assert rel < 0.05
+
+    def test_fast_and_crossbar_agree_noiseless(self, rng):
+        plan = make_plan(8, 32, 24, 2, rng)
+        spec = NoiseSpec.noiseless()
+        fast = HybridLinear(plan, noise=spec, mode="fast")
+        xbar = HybridLinear(plan, noise=spec, mode="crossbar")
+        x = rng.normal(size=(4, 32))
+        a, b = fast(Tensor(x)).data, xbar(Tensor(x)).data
+        # Crossbar mode adds a second INT8 requantization of the hidden
+        # activations; agreement is within quantization tolerance.
+        rel = np.abs(a - b).mean() / (np.abs(a).mean() + 1e-12)
+        assert rel < 0.05
+
+
+class TestNoiseBehaviour:
+    def test_protection_improves_fidelity(self, rng):
+        """More SLC-protected ranks => smaller deviation from the reference.
+
+        This is the layer-level mechanism behind Fig. 12's accuracy-vs-SLC
+        trend."""
+        x = rng.normal(size=(64, 32))
+        errors = []
+        for protect in (0, 4, 8):
+            gen = np.random.default_rng(0)
+            plan = make_plan(8, 32, 24, protect, gen)
+            layer = HybridLinear(plan, mode="fast", seed=1)
+            out = layer(Tensor(x)).data
+            ref = reference_output(plan, x)
+            errors.append(np.abs(out - ref).mean())
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_full_protection_close_to_reference(self, rng):
+        plan = make_plan(8, 32, 24, 8, rng)
+        layer = HybridLinear(plan, mode="fast")
+        x = rng.normal(size=(16, 32))
+        out = layer(Tensor(x)).data
+        ref = reference_output(plan, x)
+        rel = np.abs(out - ref).mean() / np.abs(ref).mean()
+        assert rel < 0.05
+
+    def test_noise_frozen_across_calls(self, rng):
+        plan = make_plan(8, 16, 16, 2, rng)
+        layer = HybridLinear(plan, mode="fast")
+        x = rng.normal(size=(2, 16))
+        np.testing.assert_array_equal(layer(Tensor(x)).data, layer(Tensor(x)).data)
+
+    def test_crossbar_mode_noise_frozen(self, rng):
+        plan = make_plan(8, 32, 16, 2, rng)
+        layer = HybridLinear(plan, mode="crossbar")
+        x = rng.normal(size=(2, 32))
+        np.testing.assert_array_equal(layer(Tensor(x)).data, layer(Tensor(x)).data)
+
+    def test_seeds_change_noise(self, rng):
+        plan = make_plan(8, 16, 16, 2, rng)
+        x = rng.normal(size=(2, 16))
+        a = HybridLinear(plan, mode="fast", seed=1)(Tensor(x)).data
+        b = HybridLinear(plan, mode="fast", seed=2)(Tensor(x)).data
+        assert not np.array_equal(a, b)
+
+    def test_fast_and_crossbar_error_comparable(self, rng):
+        """The fast weight-noise path must not be wildly optimistic or
+        pessimistic versus the full bit-serial simulation."""
+        x = rng.normal(size=(64, 32))
+        plan = make_plan(8, 32, 24, 2, rng)
+        ref = reference_output(plan, x)
+        errs = {}
+        for mode in ("fast", "crossbar"):
+            layer = HybridLinear(plan, mode=mode, seed=3)
+            out = layer(Tensor(x)).data
+            errs[mode] = np.abs(out - ref).mean() / np.abs(ref).mean()
+        ratio = errs["crossbar"] / errs["fast"]
+        assert 0.2 < ratio < 5.0, f"mode mismatch: {errs}"
+
+
+class TestModelAttachment:
+    def test_attach_replaces_layers(self, rng):
+        from repro.nn import EncoderClassifier, TransformerConfig
+        from repro.svd import GradientRedistributionPipeline
+        from repro.datasets import make_glue_task
+
+        data = make_glue_task("rte", seed=0)
+        config = TransformerConfig(
+            vocab_size=data.spec.vocab_size,
+            d_model=16,
+            num_heads=2,
+            num_layers=1,
+            d_ff=32,
+            max_seq_len=data.spec.seq_len,
+            num_classes=2,
+        )
+        model = EncoderClassifier(config)
+        pipeline = GradientRedistributionPipeline(protect_fraction=0.25, epochs=1, batch_size=64)
+        plan = pipeline.run(model, data.train, task_type="classification")
+
+        # Deployment replaces the fine-tuned SVD layers in the same model;
+        # embeddings/head keep their fine-tuned weights.
+        deployed = model
+        attached = attach_hybrid_layers(deployed, plan.layers, mode="fast")
+        assert len(attached) == 6
+        for _, layer in deployed.iter_static_linears():
+            assert isinstance(layer, HybridLinear)
+        logits = deployed(data.test.inputs[:4])
+        assert logits.shape == (4, 2)
+
+    def test_no_bias_plan(self, rng):
+        plan = make_plan(4, 8, 8, 1, rng, bias=False)
+        layer = HybridLinear(plan, mode="fast")
+        out = layer(Tensor(rng.normal(size=(2, 8))))
+        assert out.shape == (2, 8)

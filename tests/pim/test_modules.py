@@ -1,0 +1,250 @@
+"""Tests for digital/analog PIM modules, the PU and the chip mapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pim import (
+    AnalogModuleConfig,
+    AnalogPimModule,
+    ChipConfig,
+    DigitalModuleConfig,
+    DigitalPimModule,
+    HyFlexPimChip,
+    ProcessingUnit,
+    ProcessingUnitConfig,
+)
+from repro.rram import MLC2, SLC
+from repro.svd.pipeline import LayerPlan
+
+
+def make_plan(name: str, rank: int, in_f: int, out_f: int, protect: int, rng) -> LayerPlan:
+    mask = np.zeros(rank, dtype=bool)
+    mask[:protect] = True
+    return LayerPlan(
+        name=name,
+        a_matrix=rng.normal(size=(rank, in_f)),
+        b_matrix=rng.normal(size=(out_f, rank)),
+        bias=np.zeros(out_f),
+        protected_ranks=mask,
+        sigma_gradients=rng.random(rank),
+    )
+
+
+class TestDigitalModule:
+    def test_capacity_math(self):
+        cfg = DigitalModuleConfig()
+        assert cfg.array_bytes == 128 * 1024  # 1024x1024 SLC = 128 KB
+        assert cfg.capacity_bytes == 256 * 128 * 1024  # 32 MB per module
+
+    def test_throughput_balance_matches_paper(self):
+        """Section 3.1: 256x1024 / (64x3) / 5 ≈ 273 ops/cycle."""
+        assert DigitalModuleConfig().throughput_ops_per_cycle == pytest.approx(273.07, abs=0.1)
+
+    def test_matmul_is_exact(self, rng):
+        module = DigitalPimModule()
+        a = rng.integers(-128, 128, size=(6, 9))
+        b = rng.integers(-128, 128, size=(9, 5))
+        np.testing.assert_array_equal(module.matmul_int(a, b), a @ b)
+
+    def test_matmul_counts_nor_ops(self, rng):
+        module = DigitalPimModule()
+        a = rng.integers(-128, 128, size=(4, 8))
+        b = rng.integers(-128, 128, size=(8, 3))
+        module.matmul_int(a, b)
+        assert module.stats.int8_macs == 4 * 8 * 3
+        assert module.stats.nor_ops == 4 * 8 * 3 * 64
+        assert module.stats.compute_cycles >= 1
+        assert module.stats.bytes_written == a.size + b.size
+
+    def test_matmul_validates_range(self):
+        module = DigitalPimModule()
+        with pytest.raises(ValueError):
+            module.matmul_int(np.array([[200]]), np.array([[1]]))
+
+    def test_attention_helpers(self, rng):
+        module = DigitalPimModule()
+        q = rng.integers(-128, 128, size=(4, 8))
+        k = rng.integers(-128, 128, size=(4, 8))
+        v = rng.integers(-128, 128, size=(4, 8))
+        scores = module.attention_scores(q, k)
+        np.testing.assert_array_equal(scores, q @ k.T)
+        probs = rng.integers(0, 127, size=(4, 4))
+        np.testing.assert_array_equal(module.attention_context(probs, v), probs @ v)
+
+    def test_storage_overflow(self):
+        module = DigitalPimModule(DigitalModuleConfig(num_arrays=1))
+        with pytest.raises(MemoryError):
+            module.write(module.config.capacity_bytes + 1)
+
+    def test_write_release_cycle(self):
+        module = DigitalPimModule()
+        module.write(1000)
+        assert module.stored_bytes == 1000
+        module.release(400)
+        assert module.stored_bytes == 600
+        with pytest.raises(ValueError):
+            module.release(10_000)
+
+    def test_sfu_integration_counts_cycles(self, rng):
+        module = DigitalPimModule()
+        module.softmax(rng.normal(size=(4, 300)))
+        assert module.stats.sfu_cycles > 0
+
+
+class TestAnalogModule:
+    def test_deploy_and_gemv(self, rng):
+        module = AnalogPimModule()
+        w = rng.integers(-128, 128, size=(16, 64))
+        module.deploy("w_q", w, SLC)
+        assert module.arrays_used == 1
+        x = rng.integers(-128, 128, size=(2, 64))
+        out = module.gemv("w_q", x)
+        rel = np.abs(out - x @ w.T).mean() / (np.abs(x @ w.T).mean() + 1e-9)
+        assert rel < 0.05  # SLC at calibrated noise is near-exact
+
+    def test_duplicate_name_rejected(self, rng):
+        module = AnalogPimModule()
+        w = rng.integers(-128, 128, size=(4, 16))
+        module.deploy("w", w, SLC)
+        with pytest.raises(KeyError):
+            module.deploy("w", w, SLC)
+
+    def test_capacity_enforced(self, rng):
+        small = AnalogPimModule(AnalogModuleConfig(num_arrays=2))
+        w = rng.integers(-128, 128, size=(128, 64))  # needs 8 SLC arrays
+        with pytest.raises(MemoryError):
+            small.deploy("big", w, SLC)
+
+    def test_mlc_fits_where_slc_does_not(self, rng):
+        w = rng.integers(-128, 128, size=(128, 64))
+        slc_module = AnalogPimModule(AnalogModuleConfig(num_arrays=4))
+        with pytest.raises(MemoryError):
+            slc_module.deploy("w", w, SLC)  # needs 8
+        mlc_module = AnalogPimModule(AnalogModuleConfig(num_arrays=4))
+        mlc_module.deploy("w", w, MLC2)  # needs 4
+        assert mlc_module.arrays_used == 4
+
+    def test_utilization(self, rng):
+        module = AnalogPimModule(AnalogModuleConfig(num_arrays=8))
+        module.deploy("w", rng.integers(-128, 128, size=(16, 64)), SLC)
+        assert module.utilization() == pytest.approx(1 / 8)
+
+    def test_gemv_latency_model(self):
+        module = AnalogPimModule()
+        # 8 input bits + 1 pipeline drain at 100 ns per wave.
+        assert module.gemv_latency_ns(input_bits=8) == pytest.approx(900.0)
+
+    def test_slc_capacity(self):
+        cfg = AnalogModuleConfig()
+        assert cfg.slc_capacity_bytes() == 512 * 64 * 128 // 8  # 512 KB
+
+
+class TestProcessingUnit:
+    def test_config_matches_paper(self):
+        cfg = ProcessingUnitConfig()
+        assert cfg.num_analog_modules == 24
+        assert cfg.num_digital_modules == 8
+        assert cfg.total_analog_arrays == 24 * 512
+        assert cfg.digital_capacity_bytes == 8 * 32 * 1024 * 1024
+
+    def test_place_layer_fragments(self, rng):
+        pu = ProcessingUnit()
+        plan = make_plan("blocks.0.w_q", rank=16, in_f=64, out_f=64, protect=4, rng=rng)
+        pu.place_layer(plan)
+        fragments = {p.fragment for p in pu.placements}
+        assert fragments == {"A/slc", "A/mlc", "B/slc", "B/mlc"}
+        assert pu.arrays_used() > 0
+
+    def test_zero_protection_skips_slc_fragments(self, rng):
+        pu = ProcessingUnit()
+        plan = make_plan("blocks.0.ffn1", rank=16, in_f=64, out_f=64, protect=0, rng=rng)
+        pu.place_layer(plan)
+        fragments = {p.fragment for p in pu.placements}
+        assert fragments == {"A/mlc", "B/mlc"}
+
+    def test_can_fit_layer(self, rng):
+        tiny_cfg = ProcessingUnitConfig(
+            num_analog_modules=1,
+            analog=AnalogModuleConfig(num_arrays=8),
+        )
+        pu = ProcessingUnit(tiny_cfg)
+        small = make_plan("blocks.0.w_q", rank=8, in_f=32, out_f=16, protect=2, rng=rng)
+        big = make_plan("blocks.0.ffn1", rank=256, in_f=1024, out_f=1024, protect=32, rng=rng)
+        assert pu.can_fit_layer(small)
+        assert not pu.can_fit_layer(big)
+
+    def test_spills_to_next_module(self, rng):
+        cfg = ProcessingUnitConfig(
+            num_analog_modules=4, analog=AnalogModuleConfig(num_arrays=2)
+        )
+        pu = ProcessingUnit(cfg)
+        plan = make_plan("blocks.0.w_q", rank=16, in_f=64, out_f=64, protect=8, rng=rng)
+        pu.place_layer(plan)
+        modules_hit = {p.module_index for p in pu.placements}
+        assert len(modules_hit) > 1  # fragments spread over modules
+
+    def test_store_dynamic_spreads_over_digital_modules(self):
+        cfg = ProcessingUnitConfig(
+            num_digital_modules=2,
+            digital=DigitalModuleConfig(num_arrays=1),
+        )
+        pu = ProcessingUnit(cfg)
+        per_module = cfg.digital.capacity_bytes
+        pu.store_dynamic(per_module + 10)
+        assert pu.digital_modules[0].stored_bytes == per_module
+        assert pu.digital_modules[1].stored_bytes == 10
+        with pytest.raises(MemoryError):
+            pu.store_dynamic(per_module)
+
+
+class TestChip:
+    def test_config_matches_paper(self):
+        cfg = ChipConfig()
+        assert cfg.num_processing_units == 24
+        assert cfg.global_bus_gbps == 128.0
+        assert cfg.inner_bus_gbps == 1000.0
+
+    def test_deploys_one_block_per_pu(self, rng):
+        from repro.svd.pipeline import RedistributionPlan
+        from repro.svd.finetune import FinetuneResult
+
+        layers = {}
+        for block in range(3):
+            for leaf in ("w_q", "ffn1"):
+                name = f"blocks.{block}.{leaf}"
+                layers[name] = make_plan(name, rank=16, in_f=64, out_f=64, protect=4, rng=rng)
+        plan = RedistributionPlan(
+            layers=layers,
+            finetune_result=FinetuneResult([0.0], {}, 0),
+            protect_fraction=0.25,
+            policy="gradient",
+        )
+        chip = HyFlexPimChip()
+        assignments = chip.deploy(plan)
+        assert len(assignments) == 3
+        # Pipelined blocks occupy consecutive distinct PUs.
+        all_pus = [i for a in assignments for i in a.pu_indices]
+        assert len(set(all_pus)) == len(all_pus)
+        assert chip.pus_used() == 3
+        assert 0 < chip.analog_utilization() < 1
+
+    def test_transfer_latency_tiny_for_hidden_vectors(self):
+        """Section 3.1: a 0.75-2 KB hidden output moves in a handful of cycles."""
+        chip = HyFlexPimChip()
+        cycles = chip.transfer_latency_cycles(2 * 1024)
+        assert cycles < 25
+
+    def test_rejects_unexpected_layer_names(self, rng):
+        from repro.svd.pipeline import RedistributionPlan
+        from repro.svd.finetune import FinetuneResult
+
+        plan = RedistributionPlan(
+            layers={"head": make_plan("head", 4, 8, 8, 1, rng)},
+            finetune_result=FinetuneResult([0.0], {}, 0),
+            protect_fraction=0.25,
+            policy="gradient",
+        )
+        with pytest.raises(ValueError):
+            HyFlexPimChip().deploy(plan)

@@ -1,0 +1,105 @@
+"""Tests for the NOR-gate digital PIM primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pim import (
+    COLUMNS_PER_NOR,
+    CYCLES_PER_ROW,
+    NOR_OPS_PER_INT8_MULT,
+    NorCounter,
+    full_adder,
+    multiply_int8,
+    nor,
+    nor_and,
+    nor_not,
+    nor_or,
+    nor_xor,
+    ripple_add,
+)
+
+
+def bits_of(value: int, width: int) -> np.ndarray:
+    return np.array([(value >> i) & 1 for i in range(width)], dtype=np.int8)
+
+
+class TestGates:
+    def test_nor_truth_table(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        np.testing.assert_array_equal(nor(a, b), [1, 0, 0, 0])
+
+    def test_derived_gates(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        np.testing.assert_array_equal(nor_not(a), 1 - a)
+        np.testing.assert_array_equal(nor_or(a, b), a | b)
+        np.testing.assert_array_equal(nor_and(a, b), a & b)
+        np.testing.assert_array_equal(nor_xor(a, b), a ^ b)
+
+    def test_gate_counting(self):
+        counter = NorCounter()
+        nor_xor(np.array([1]), np.array([0]), counter)
+        assert counter.count == 5  # minimal NOR-only XOR
+
+    def test_full_adder_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    s, carry = full_adder(np.array([a]), np.array([b]), np.array([c]))
+                    assert s[0] == (a + b + c) % 2
+                    assert carry[0] == (a + b + c) // 2
+
+
+class TestArithmetic:
+    def test_ripple_add_known(self):
+        out = ripple_add(bits_of(93, 8), bits_of(170, 8))
+        value = sum(int(bit) << i for i, bit in enumerate(out))
+        assert value == 263
+
+    def test_ripple_add_width_mismatch(self):
+        with pytest.raises(ValueError):
+            ripple_add(bits_of(1, 4), bits_of(1, 8))
+
+    def test_multiply_known_values(self):
+        assert multiply_int8(7, 9) == 63
+        assert multiply_int8(255, 255) == 65025
+        assert multiply_int8(0, 123) == 0
+
+    def test_multiply_vectorized(self, rng):
+        a = rng.integers(0, 256, size=50)
+        b = rng.integers(0, 256, size=50)
+        np.testing.assert_array_equal(multiply_int8(a, b), a * b)
+
+    def test_multiply_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            multiply_int8(256, 1)
+        with pytest.raises(ValueError):
+            multiply_int8(-1, 1)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=50, deadline=None)
+    def test_multiply_exhaustive_property(self, a, b):
+        assert multiply_int8(a, b) == a * b
+
+    def test_nor_count_order_of_magnitude(self):
+        """The paper charges 64 NOR ops per INT8 multiply; our gate-level
+        construction is less optimized but must be within ~50x (it is an
+        existence proof, not the paper's optimized MAGIC netlist)."""
+        counter = NorCounter()
+        multiply_int8(173, 91, counter)
+        assert counter.count > 0
+        # Vectorized evaluation counts gate *types* once per call; the
+        # logical gate count per scalar multiply sits in the hundreds.
+        assert counter.count < 64 * NOR_OPS_PER_INT8_MULT
+
+
+class TestPaperConstants:
+    def test_values(self):
+        assert NOR_OPS_PER_INT8_MULT == 64
+        assert COLUMNS_PER_NOR == 3
+        assert CYCLES_PER_ROW == 5

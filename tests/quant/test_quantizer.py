@@ -1,0 +1,154 @@
+"""Unit and property tests for the INT8 quantization substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import (
+    QuantParams,
+    bits_to_int,
+    dequantize,
+    fake_quantize,
+    int_to_bits,
+    offset_decode,
+    offset_encode,
+    quantize,
+)
+
+
+class TestQuantize:
+    def test_codes_in_range(self, rng):
+        codes, params = quantize(rng.normal(size=(10, 10)))
+        assert codes.min() >= params.qmin
+        assert codes.max() <= params.qmax
+
+    def test_max_abs_maps_to_qmax(self):
+        x = np.array([-2.0, 0.0, 4.0])
+        codes, params = quantize(x)
+        assert codes[2] == params.qmax
+
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        x = rng.normal(size=(100,))
+        codes, params = quantize(x)
+        err = np.abs(dequantize(codes, params) - x)
+        assert err.max() <= params.scale / 2 + 1e-12
+
+    def test_per_channel_scales(self, rng):
+        x = rng.normal(size=(4, 8))
+        x[0] *= 100.0  # one channel with much larger range
+        codes, params = quantize(x, per_channel_axis=0)
+        assert np.asarray(params.scale).shape == (4, 1)
+        err = np.abs(dequantize(codes, params) - x)
+        # Per-channel keeps small channels precise despite the large one.
+        assert err[1:].max() < np.abs(x[1:]).max() / 100
+
+    def test_reuse_calibrated_params(self, rng):
+        x = rng.normal(size=(16,))
+        _, params = quantize(x)
+        y = rng.normal(size=(16,)) * 0.1
+        codes_y, params_y = quantize(y, params=params)
+        assert params_y is params
+        np.testing.assert_allclose(dequantize(codes_y, params), y, atol=params.scale)
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            quantize(np.ones(3), num_bits=1)
+        with pytest.raises(ValueError):
+            quantize(np.ones(3), num_bits=32)
+
+    def test_params_conflict_detected(self):
+        _, params = quantize(np.ones(3), num_bits=8)
+        with pytest.raises(ValueError):
+            quantize(np.ones(3), num_bits=4, params=params)
+
+    def test_zero_tensor_does_not_divide_by_zero(self):
+        codes, params = quantize(np.zeros(5))
+        np.testing.assert_array_equal(codes, np.zeros(5))
+        assert np.isfinite(params.scale)
+
+    def test_fake_quantize_is_idempotent(self, rng):
+        x = rng.normal(size=(20,))
+        once = fake_quantize(x)
+        twice = fake_quantize(once)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+class TestOffsetEncoding:
+    def test_roundtrip(self, rng):
+        codes, params = quantize(rng.normal(size=(8, 8)))
+        encoded = offset_encode(codes, params)
+        assert encoded.min() >= 0
+        assert encoded.max() <= 255
+        np.testing.assert_array_equal(offset_decode(encoded, params), codes)
+
+    def test_rejects_out_of_range(self):
+        params = QuantParams(scale=1.0, num_bits=8)
+        with pytest.raises(ValueError):
+            offset_encode(np.array([200]), params)
+
+
+class TestBitDecomposition:
+    def test_known_value(self):
+        bits = int_to_bits(np.array([5]), 4)
+        np.testing.assert_array_equal(bits[0], [1, 0, 1, 0])  # LSB first
+
+    def test_roundtrip_matrix(self, rng):
+        values = rng.integers(0, 256, size=(6, 7))
+        np.testing.assert_array_equal(bits_to_int(int_to_bits(values, 8)), values)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(np.array([-1]), 8)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(np.array([256]), 8)
+
+    def test_weighted_sum_identity(self, rng):
+        """Bit-serial dot product == integer dot product (the S&A identity)."""
+        a = rng.integers(0, 16, size=5)
+        w = rng.integers(0, 16, size=5)
+        a_bits = int_to_bits(a, 4)  # (5, 4)
+        partials = np.einsum("ib,i->b", a_bits, w)  # per input-bit partial sums
+        total = sum(partials[b] << b for b in range(4))
+        assert total == int(a @ w)
+
+
+class TestQuantProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=16),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_error_bound_property(self, x):
+        codes, params = quantize(x)
+        err = np.abs(dequantize(codes, params) - x)
+        assert err.max(initial=0.0) <= float(np.max(params.scale)) / 2 + 1e-9
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_bit_roundtrip_property(self, bits):
+        values = np.arange(2**bits)
+        np.testing.assert_array_equal(bits_to_int(int_to_bits(values, bits)), values)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 8)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantization_monotone_property(self, x):
+        """Quantization preserves (non-strict) ordering."""
+        codes, _ = quantize(x)
+        order = np.argsort(x)
+        sorted_codes = codes[order]
+        assert (np.diff(sorted_codes) >= 0).all()

@@ -1,0 +1,200 @@
+"""Tests for bit-serial crossbar GEMV: exactness, noise behaviour, stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rram import (
+    CrossbarConfig,
+    GemvStats,
+    MLC2,
+    MLC3,
+    SLC,
+    bit_serial_gemv,
+    input_bit_weights,
+    slice_weights,
+)
+
+
+class TestWeightSlicing:
+    def test_slc_produces_eight_planes(self, rng):
+        w = rng.integers(-128, 128, size=(4, 6))
+        slices = slice_weights(w, SLC)
+        assert slices.values.shape == (6, 4, 8)
+        assert slices.num_slices == 8
+        np.testing.assert_array_equal(slices.slice_factors, [1, 2, 4, 8, 16, 32, 64, 128])
+
+    def test_mlc2_produces_four_planes_with_4x_factors(self, rng):
+        w = rng.integers(-128, 128, size=(4, 6))
+        slices = slice_weights(w, MLC2)
+        assert slices.values.shape == (6, 4, 4)
+        np.testing.assert_array_equal(slices.slice_factors, [1, 4, 16, 64])
+        assert slices.values.max() <= 3
+
+    def test_mlc3_pads_to_three_planes(self, rng):
+        w = rng.integers(-128, 128, size=(3, 3))
+        slices = slice_weights(w, MLC3)
+        assert slices.values.shape == (3, 3, 3)
+        np.testing.assert_array_equal(slices.slice_factors, [1, 8, 64])
+
+    def test_slices_reconstruct_offset_weights(self, rng):
+        w = rng.integers(-128, 128, size=(5, 7))
+        for cell in (SLC, MLC2):
+            slices = slice_weights(w, cell)
+            recombined = (slices.values * slices.slice_factors).sum(axis=-1)
+            np.testing.assert_array_equal(recombined, w.T + 128)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            slice_weights(np.array([[300]]), SLC)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            slice_weights(np.zeros(4), SLC)
+
+
+class TestInputBitWeights:
+    def test_twos_complement_weights(self):
+        np.testing.assert_array_equal(
+            input_bit_weights(4), [1, 2, 4, -8]
+        )
+
+    def test_reconstructs_signed_values(self, rng):
+        from repro.quant import int_to_bits
+
+        values = rng.integers(-128, 128, size=20)
+        bits = int_to_bits(values & 0xFF, 8)
+        recombined = bits @ input_bit_weights(8)
+        np.testing.assert_array_equal(recombined, values)
+
+
+class TestNoiselessExactness:
+    @pytest.mark.parametrize("cell", [SLC, MLC2], ids=["slc", "mlc2"])
+    def test_matches_integer_gemv(self, cell, rng):
+        x = rng.integers(-128, 128, size=(5, 48))
+        w = rng.integers(-128, 128, size=(10, 48))
+        out = bit_serial_gemv(x, w, cell=cell, noise_sigma=0.0)
+        np.testing.assert_array_equal(out, x @ w.T)
+
+    @pytest.mark.parametrize("cell", [SLC, MLC2], ids=["slc", "mlc2"])
+    def test_exact_across_row_tiles(self, cell, rng):
+        """Inputs longer than 64 rows span multiple arrays; digital partial
+        sums must keep the result exact."""
+        x = rng.integers(-128, 128, size=(3, 200))
+        w = rng.integers(-128, 128, size=(7, 200))
+        out = bit_serial_gemv(x, w, cell=cell, noise_sigma=0.0)
+        np.testing.assert_array_equal(out, x @ w.T)
+
+    def test_1d_input_promoted(self, rng):
+        x = rng.integers(-128, 128, size=16)
+        w = rng.integers(-128, 128, size=(4, 16))
+        out = bit_serial_gemv(x, w, cell=SLC)
+        np.testing.assert_array_equal(out, x[None, :] @ w.T)
+
+    def test_extreme_codes(self):
+        x = np.array([[-128, 127]])
+        w = np.array([[127, -128], [-128, 127]])
+        out = bit_serial_gemv(x, w, cell=SLC)
+        np.testing.assert_array_equal(out, x @ w.T)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            bit_serial_gemv(np.zeros((2, 4), dtype=int), np.zeros((3, 5), dtype=int), SLC)
+
+    def test_input_range_validated(self):
+        with pytest.raises(ValueError):
+            bit_serial_gemv(np.array([[300]]), np.array([[1]]), SLC)
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(1, 30),
+        st.integers(1, 8),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_exactness_property(self, seed, in_f, out_f, batch):
+        gen = np.random.default_rng(seed)
+        x = gen.integers(-128, 128, size=(batch, in_f))
+        w = gen.integers(-128, 128, size=(out_f, in_f))
+        for cell in (SLC, MLC2):
+            out = bit_serial_gemv(x, w, cell=cell, noise_sigma=0.0)
+            np.testing.assert_array_equal(out, x @ w.T)
+
+
+class TestNoisyBehaviour:
+    def test_noise_perturbs_results(self, rng):
+        x = rng.integers(-128, 128, size=(4, 32))
+        w = rng.integers(-128, 128, size=(8, 32))
+        noisy = bit_serial_gemv(x, w, cell=MLC2, noise_sigma=0.05, rng=np.random.default_rng(0))
+        assert not np.array_equal(noisy, x @ w.T)
+
+    def test_noise_is_seeded(self, rng):
+        x = rng.integers(-128, 128, size=(2, 16))
+        w = rng.integers(-128, 128, size=(4, 16))
+        a = bit_serial_gemv(x, w, MLC2, 0.05, rng=np.random.default_rng(3))
+        b = bit_serial_gemv(x, w, MLC2, 0.05, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_relative_error_grows_with_sigma(self, rng):
+        x = rng.integers(-128, 128, size=(16, 64))
+        w = rng.integers(-128, 128, size=(16, 64))
+        ideal = x @ w.T
+        errors = []
+        for sigma in (0.01, 0.05, 0.15):
+            out = bit_serial_gemv(x, w, MLC2, sigma, rng=np.random.default_rng(0))
+            errors.append(np.abs(out - ideal).mean())
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_slc_more_accurate_than_mlc_at_calibrated_noise(self, rng):
+        """The premise of the hybrid design: at their calibrated noise levels
+        SLC computation is more accurate than MLC2."""
+        from repro.rram import DEFAULT_NOISE
+
+        x = rng.integers(-128, 128, size=(32, 64))
+        w = rng.integers(-128, 128, size=(32, 64))
+        ideal = x @ w.T
+        err = {}
+        for cell in (SLC, MLC2):
+            out = bit_serial_gemv(
+                x, w, cell, DEFAULT_NOISE.sigma(cell), rng=np.random.default_rng(0)
+            )
+            err[cell.name] = np.abs(out - ideal).mean()
+        assert err["SLC"] < err["MLC2"]
+
+
+class TestStats:
+    def test_adc_conversion_count(self, rng):
+        x = rng.integers(-128, 128, size=(2, 32))
+        w = rng.integers(-128, 128, size=(3, 32))
+        stats = GemvStats()
+        bit_serial_gemv(x, w, SLC, stats=stats)
+        # one row tile, 8 input bits, 3 outputs x 8 slices, batch 2
+        assert stats.adc_conversions == 2 * 8 * 3 * 8
+        assert stats.input_cycles == 8
+
+    def test_mlc_halves_adc_conversions(self, rng):
+        x = rng.integers(-128, 128, size=(2, 32))
+        w = rng.integers(-128, 128, size=(3, 32))
+        slc_stats, mlc_stats = GemvStats(), GemvStats()
+        bit_serial_gemv(x, w, SLC, stats=slc_stats)
+        bit_serial_gemv(x, w, MLC2, stats=mlc_stats)
+        assert mlc_stats.adc_conversions * 2 == slc_stats.adc_conversions
+
+    def test_tile_count(self, rng):
+        x = rng.integers(-128, 128, size=(1, 130))
+        w = rng.integers(-128, 128, size=(20, 130))
+        stats = GemvStats()
+        bit_serial_gemv(x, w, SLC, stats=stats)
+        # 130 inputs -> 3 row tiles; 20 outputs x 8 slices = 160 cols -> 2 col tiles
+        assert stats.array_tiles == 6
+
+    def test_merge(self):
+        a = GemvStats(adc_conversions=5, input_cycles=8)
+        b = GemvStats(adc_conversions=7, array_tiles=2)
+        a.merge(b)
+        assert a.adc_conversions == 12
+        assert a.array_tiles == 2
+        assert a.input_cycles == 8

@@ -1,0 +1,121 @@
+"""Tests for SVD decomposition, hard-threshold truncation and merging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.svd import (
+    dense_mac_count,
+    factored_mac_count,
+    hard_threshold_rank,
+    merge_sigma,
+    reconstruction_error,
+    svd_decompose,
+    truncate_factors,
+)
+
+
+class TestDecompose:
+    def test_reconstruction_is_exact_at_full_rank(self, rng):
+        w = rng.normal(size=(8, 12))
+        factors = svd_decompose(w)
+        np.testing.assert_allclose(factors.reconstruct(), w, atol=1e-10)
+
+    def test_singular_values_descending_nonnegative(self, rng):
+        factors = svd_decompose(rng.normal(size=(10, 6)))
+        assert (factors.s >= 0).all()
+        assert (np.diff(factors.s) <= 1e-12).all()
+
+    def test_orthogonality(self, rng):
+        factors = svd_decompose(rng.normal(size=(7, 9)))
+        np.testing.assert_allclose(factors.u.T @ factors.u, np.eye(7), atol=1e-10)
+        np.testing.assert_allclose(factors.vt @ factors.vt.T, np.eye(7), atol=1e-10)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            svd_decompose(np.zeros(5))
+
+    def test_truncation_keeps_top_ranks(self, rng):
+        w = rng.normal(size=(8, 8))
+        full = svd_decompose(w)
+        trunc = truncate_factors(full, 3)
+        assert trunc.rank == 3
+        np.testing.assert_allclose(trunc.s, full.s[:3])
+
+    def test_truncation_rank_clamped(self, rng):
+        factors = svd_decompose(rng.normal(size=(4, 4)))
+        assert truncate_factors(factors, 100).rank == 4
+
+    def test_truncation_rejects_zero_rank(self, rng):
+        factors = svd_decompose(rng.normal(size=(4, 4)))
+        with pytest.raises(ValueError):
+            truncate_factors(factors, 0)
+
+    def test_low_rank_matrix_reconstructs_exactly(self, rng):
+        # Build an exactly rank-2 matrix; rank-2 truncation must be lossless.
+        a = rng.normal(size=(6, 2))
+        b = rng.normal(size=(2, 9))
+        w = a @ b
+        trunc = truncate_factors(svd_decompose(w), 2)
+        np.testing.assert_allclose(trunc.reconstruct(), w, atol=1e-10)
+
+    def test_truncation_error_is_tail_energy(self, rng):
+        """Eckart-Young: squared error equals the sum of dropped sigma^2."""
+        w = rng.normal(size=(10, 10))
+        factors = svd_decompose(w)
+        k = 4
+        trunc = truncate_factors(factors, k)
+        err = np.linalg.norm(w - trunc.reconstruct()) ** 2
+        tail = (factors.s[k:] ** 2).sum()
+        assert err == pytest.approx(tail, rel=1e-9)
+
+    def test_merge_sigma_preserves_product(self, rng):
+        factors = truncate_factors(svd_decompose(rng.normal(size=(8, 6))), 3)
+        a, b = merge_sigma(factors)
+        assert a.shape == (3, 6)
+        assert b.shape == (8, 3)
+        np.testing.assert_allclose(b @ a, factors.reconstruct(), atol=1e-10)
+
+
+class TestHardThreshold:
+    def test_square_matrix_gives_half(self):
+        assert hard_threshold_rank(768, 768) == 384
+
+    def test_bert_ffn_dimensions(self):
+        # D_h = 768, D_ff = 3072 -> 768*3072/(768+3072) = 614.4 -> 614
+        assert hard_threshold_rank(3072, 768) == 614
+
+    def test_compute_preserved_at_threshold(self):
+        for out_f, in_f in [(768, 768), (3072, 768), (768, 3072), (1024, 4096)]:
+            k = hard_threshold_rank(out_f, in_f)
+            dense = dense_mac_count(128, out_f, in_f)
+            factored = factored_mac_count(128, out_f, in_f, k)
+            assert factored <= dense
+            # Within one rank's worth of MACs of the dense cost.
+            slack = 128 * (out_f + in_f)
+            assert dense - factored <= slack
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            hard_threshold_rank(0, 5)
+
+    @given(st.integers(2, 512), st.integers(2, 512))
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_never_exceeds_compute_property(self, out_f, in_f):
+        k = hard_threshold_rank(out_f, in_f)
+        assert 1 <= k <= min(out_f, in_f)
+        assert factored_mac_count(1, out_f, in_f, k) <= dense_mac_count(1, out_f, in_f)
+
+
+class TestReconstructionError:
+    def test_monotone_decreasing_in_rank(self, rng):
+        w = rng.normal(size=(12, 12))
+        errors = [reconstruction_error(w, k) for k in (1, 3, 6, 9, 12)]
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+
+    def test_zero_at_full_rank(self, rng):
+        w = rng.normal(size=(6, 6))
+        assert reconstruction_error(w, 6) < 1e-10

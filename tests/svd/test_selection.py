@@ -1,0 +1,99 @@
+"""Tests for SLC-protection selection policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.svd import (
+    protected_count,
+    select_elements_by_magnitude,
+    select_ranks_by_gradient,
+    select_ranks_by_rank,
+)
+
+
+class TestProtectedCount:
+    def test_extremes(self):
+        assert protected_count(100, 0.0) == 0
+        assert protected_count(100, 1.0) == 100
+
+    def test_rounding(self):
+        assert protected_count(100, 0.05) == 5
+        assert protected_count(10, 0.05) == 1  # at least one when nonzero
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            protected_count(10, 1.5)
+
+    @given(st.integers(1, 1000), st.floats(0.0, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_bounds_property(self, total, fraction):
+        n = protected_count(total, fraction)
+        assert 0 <= n <= total
+        if fraction == 0.0:
+            assert n == 0
+
+
+class TestGradientSelection:
+    def test_selects_largest_gradients(self):
+        grads = np.array([0.1, 5.0, 0.2, 3.0, 0.05])
+        mask = select_ranks_by_gradient(grads, 0.4)
+        np.testing.assert_array_equal(mask, [False, True, False, True, False])
+
+    def test_zero_rate_selects_nothing(self):
+        assert not select_ranks_by_gradient(np.ones(10), 0.0).any()
+
+    def test_full_rate_selects_all(self):
+        assert select_ranks_by_gradient(np.ones(10), 1.0).all()
+
+    def test_count_matches_rate(self):
+        mask = select_ranks_by_gradient(np.arange(100, dtype=float), 0.3)
+        assert mask.sum() == 30
+
+
+class TestRankSelection:
+    def test_selects_largest_sigma(self):
+        sigma = np.array([5.0, 4.0, 0.1, 0.2])
+        mask = select_ranks_by_rank(sigma, 0.5)
+        np.testing.assert_array_equal(mask, [True, True, False, False])
+
+    def test_differs_from_gradient_when_gradients_disagree(self):
+        sigma = np.array([5.0, 4.0, 3.0, 2.0])
+        grads = np.array([0.0, 0.0, 1.0, 1.0])
+        rank_mask = select_ranks_by_rank(sigma, 0.5)
+        grad_mask = select_ranks_by_gradient(grads, 0.5)
+        assert not np.array_equal(rank_mask, grad_mask)
+
+
+class TestMagnitudeSelection:
+    def test_l1_selects_largest_abs(self):
+        w = np.array([[1.0, -10.0], [0.1, 2.0]])
+        mask = select_elements_by_magnitude(w, 0.25, norm="l1")
+        assert mask[0, 1] and mask.sum() == 1
+
+    def test_l1_l2_agree_elementwise(self, rng):
+        w = rng.normal(size=(6, 6))
+        np.testing.assert_array_equal(
+            select_elements_by_magnitude(w, 0.3, "l1"),
+            select_elements_by_magnitude(w, 0.3, "l2"),
+        )
+
+    def test_mask_shape_matches_weight(self, rng):
+        w = rng.normal(size=(4, 7))
+        assert select_elements_by_magnitude(w, 0.1).shape == (4, 7)
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError):
+            select_elements_by_magnitude(np.ones((2, 2)), 0.5, norm="linf")
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_protected_weights_dominate_unprotected_property(self, fraction):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(8, 8))
+        mask = select_elements_by_magnitude(w, fraction)
+        if 0 < mask.sum() < w.size:
+            assert np.abs(w[mask]).min() >= np.abs(w[~mask]).max() - 1e-12
