@@ -2,25 +2,22 @@
 
 from __future__ import annotations
 
-from repro.arch import STAGES, stage_op_counts
-from repro.models import paper_model
+from repro.arch import STAGES
+from repro.exp import ExperimentSpec
 
 SEQ_LENS = (128, 512, 1024, 2048, 3072)
 
 
-def test_fig02_stage_op_counts(benchmark, print_header):
-    spec = paper_model("bert-base")
+def test_fig02_stage_op_counts(benchmark, print_header, fresh_runner):
+    spec = ExperimentSpec("fig02", params={"model": "bert-base", "seq_lens": SEQ_LENS})
 
-    def build():
-        return {n: stage_op_counts(spec, n) for n in SEQ_LENS}
-
-    table = benchmark(build)
+    result = benchmark(lambda: fresh_runner.run(spec))
     print_header("Fig. 2 — operations per stage vs sequence length (BERT-Base, x1e8)")
     print(f"{'stage':>10} " + " ".join(f"N={n:>6}" for n in SEQ_LENS))
     for stage in STAGES:
-        values = [table[n].counts[stage] / 1e8 for n in SEQ_LENS]
+        values = [count / 1e8 for count in result["stages"][stage]]
         print(f"{stage:>10} " + " ".join(f"{v:>8.1f}" for v in values))
-    shares = {n: table[n].linear_total() / table[n].total() for n in SEQ_LENS}
+    shares = dict(zip(result["seq_lens"], result["linear_share"]))
     print("\nlinear-stage share: " + ", ".join(f"N={n}: {s * 100:.0f}%" for n, s in shares.items()))
     print("paper: static-weight (linear) stages dominate (>70%) at short N;")
     print("       score/PV stages overtake as N grows (quadratic terms).")

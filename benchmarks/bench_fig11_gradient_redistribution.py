@@ -3,17 +3,15 @@
 Regenerates the three panels on a trained mini encoder: (a) per-element
 weight gradients of a dense FC layer, (b) singular-value gradients right
 after full-rank SVD, (c) singular-value gradients after hard-threshold
-truncation + fine-tuning (gradient redistribution).
+truncation + fine-tuning (gradient redistribution).  Runs as one cached
+``repro.exp`` point.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from conftest import train_mini_encoder
-from repro.datasets import make_glue_task
-from repro.nn import Tensor, cross_entropy
-from repro.svd import apply_svd, finetune, sigma_gradient_snapshot
+from repro.exp import ExperimentSpec
 
 
 def _leading_mass(grads: np.ndarray, fraction: float = 0.25) -> float:
@@ -22,42 +20,16 @@ def _leading_mass(grads: np.ndarray, fraction: float = 0.25) -> float:
     return float(grads[:k].sum() / total) if total > 0 else 0.0
 
 
-def test_fig11_gradient_redistribution(benchmark, print_header):
-    data = make_glue_task("sst2", seed=0)
+def test_fig11_gradient_redistribution(benchmark, print_header, runner):
+    spec = ExperimentSpec("fig11", params={"task": "sst2", "num_layers": 2})
 
-    def run():
-        model = train_mini_encoder(data, num_layers=2, epochs=5)
-        state = model.state_dict()
-
-        # (a) dense weight-element gradients of one FC layer.
-        inputs, targets = data.train.inputs[:64], data.train.targets[:64].astype(int)
-        loss = cross_entropy(model(inputs), targets)
-        model.zero_grad()
-        loss.backward()
-        dense_grads = np.abs(model.blocks[0].attn.w_q.weight.grad[0])
-
-        # (b) full-rank SVD, no fine-tuning.
-        from repro.nn import EncoderClassifier
-
-        model_b = EncoderClassifier(model.config)
-        model_b.load_state_dict(state)
-        apply_svd(model_b, rank=model.config.d_model)
-        snap_b = sigma_gradient_snapshot(model_b, data.train, "classification", max_batches=4)
-
-        # (c) hard threshold + fine-tune.
-        model_c = EncoderClassifier(model.config)
-        model_c.load_state_dict(state)
-        layers_c = apply_svd(model_c)
-        finetune(model_c, data.train, "classification", epochs=2, batch_size=32,
-                 learning_rate=2e-3)
-        grads_c = {name: layer.mean_sigma_gradient() for name, layer in layers_c.items()}
-        return dense_grads, snap_b.per_layer, grads_c
-
-    dense_grads, grads_b, grads_c = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: runner.run(spec), rounds=1, iterations=1)
+    dense_spread = result["dense_spread"]
+    grads_b = result["grads_b"]
+    grads_c = result["grads_c"]
 
     print_header("Fig. 11 — gradient distributions across the pipeline stages")
-    spread = dense_grads.max() / max(dense_grads.mean(), 1e-12)
-    print(f"(a) dense |dL/dW| (first row): max/mean spread {spread:.2f} (near-uniform)")
+    print(f"(a) dense |dL/dW| (first row): max/mean spread {dense_spread:.2f} (near-uniform)")
 
     mass_b = np.mean([_leading_mass(np.asarray(g)) for g in grads_b.values()])
     mass_c = np.mean([_leading_mass(np.asarray(g)) for g in grads_c.values()])

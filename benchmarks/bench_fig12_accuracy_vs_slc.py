@@ -3,108 +3,37 @@
 Sweeps the protection rate on mini encoders (GLUE-like tasks), a decoder LM
 (WikiText-2-like) and a ViT (CIFAR-10-like), reporting metric-vs-rate series
 against the noise-free INT8 baseline — the full Fig. 12 panel at reduced
-scale.
+scale.  The five workloads run as one ``repro.exp`` sweep: cached points
+replay from ``.repro_cache/`` and uncached ones train in parallel workers.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from conftest import train_mini_encoder
-from repro.core import HyFlexPim
-from repro.datasets import make_glue_task, make_vision_dataset, wikitext2_like
-from repro.datasets.synthetic_vision import VisionSpec
-from repro.nn import (
-    AdamW,
-    BatchIterator,
-    DecoderLM,
-    TransformerConfig,
-    VisionTransformer,
-    cross_entropy,
-    lm_cross_entropy,
-)
+from repro.exp import ExperimentSpec
 
 RATES = (0.0, 0.05, 0.1, 0.3, 0.5, 1.0)
 
-
-def _sweep_encoder(task: str) -> tuple[float, dict[float, float], str]:
-    data = make_glue_task(task, seed=0)
-    regression = data.spec.kind == "regression"
-    model = train_mini_encoder(data, num_layers=3, epochs=5, regression=regression)
-    hfp = HyFlexPim(protect_fraction=0.1, epochs=2, batch_size=32, learning_rate=2e-3)
-    task_type = "regression" if regression else "classification"
-    compiled = hfp.compile(model, data.train, task_type=task_type)
-    metric = {"matthews": "matthews", "pearson": "pearson"}.get(data.spec.metric, "accuracy")
-    baseline = hfp.ideal_reference(compiled, data.test, metric=metric)
-    sweep = hfp.protection_sweep(compiled, data.test, rates=RATES, metric=metric)
-    return baseline, sweep, data.spec.metric
+# sst2/cola/mrpc are the GLUE stand-ins a 3-layer mini encoder can learn
+# well above chance (qnli/stsb need more capacity than the mini
+# substitution affords; their generators stay unit-tested).
+WORKLOADS = ("sst2", "cola", "mrpc", "lm", "vit")
 
 
-def _sweep_lm() -> tuple[float, dict[float, float]]:
-    corpus = wikitext2_like(seed=0)
-    config = TransformerConfig(
-        vocab_size=corpus.spec.vocab_size, d_model=32, num_heads=4, num_layers=3,
-        d_ff=128, max_seq_len=corpus.spec.seq_len, seed=0,
+def test_fig12_accuracy_vs_slc_rate(benchmark, print_header, runner):
+    sweep = ExperimentSpec("fig12", params={"rates": RATES}).sweep(workload=WORKLOADS)
+
+    series = benchmark.pedantic(
+        lambda: runner.sweep(sweep), rounds=1, iterations=1
     )
-    model = DecoderLM(config)
-    optimizer = AdamW(model.parameters(), lr=2e-3)
-    rng = np.random.default_rng(0)
-    for _ in range(3):
-        for inputs, targets in BatchIterator(corpus.train, 16, rng=rng):
-            loss = lm_cross_entropy(model(inputs), targets)
-            model.zero_grad()
-            loss.backward()
-            optimizer.step()
-    hfp = HyFlexPim(protect_fraction=0.2, epochs=1, batch_size=16, learning_rate=2e-3)
-    compiled = hfp.compile(model, corpus.train, task_type="lm")
-    baseline = hfp.ideal_reference(compiled, corpus.test)
-    return baseline, hfp.protection_sweep(compiled, corpus.test, rates=RATES)
-
-
-def _sweep_vit() -> tuple[float, dict[float, float]]:
-    data = make_vision_dataset(
-        VisionSpec(image_size=16, train_size=300, test_size=100, noise_std=0.2), seed=0
-    )
-    config = TransformerConfig(
-        d_model=32, num_heads=4, num_layers=2, d_ff=128, image_size=16, patch_size=4,
-        num_classes=10, max_seq_len=32, seed=0,
-    )
-    model = VisionTransformer(config)
-    optimizer = AdamW(model.parameters(), lr=2e-3)
-    rng = np.random.default_rng(0)
-    for _ in range(5):
-        for inputs, targets in BatchIterator(data.train, 32, rng=rng):
-            loss = cross_entropy(model(inputs), targets.astype(int))
-            model.zero_grad()
-            loss.backward()
-            optimizer.step()
-    hfp = HyFlexPim(protect_fraction=0.05, epochs=2, batch_size=32, learning_rate=1e-3)
-    compiled = hfp.compile(model, data.train, task_type="classification")
-    baseline = hfp.ideal_reference(compiled, data.test)
-    return baseline, hfp.protection_sweep(compiled, data.test, rates=RATES)
-
-
-def test_fig12_accuracy_vs_slc_rate(benchmark, print_header):
-    def run():
-        results = {}
-        # sst2/cola/mrpc are the GLUE stand-ins a 3-layer mini encoder can
-        # learn well above chance (qnli/stsb need more capacity than the
-        # mini substitution affords; their generators stay unit-tested).
-        for task in ("sst2", "cola", "mrpc"):
-            results[task] = _sweep_encoder(task)
-        lm_base, lm_sweep = _sweep_lm()
-        vit_base, vit_sweep = _sweep_vit()
-        results["wikitext2-lm"] = (lm_base, lm_sweep, "loss")
-        results["cifar10-vit"] = (vit_base, vit_sweep, "accuracy")
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_workload = series.by_param("workload")
 
     print_header("Fig. 12 — metric vs SLC protection rate (mini-scale panel)")
     print(f"{'workload':>14} {'metric':>9} {'base':>7} " + " ".join(f"{int(r*100):>3}%" for r in RATES))
-    for name, (baseline, sweep, metric) in results.items():
-        row = " ".join(f"{sweep[r]:.2f}" for r in RATES)
-        print(f"{name:>14} {metric:>9} {baseline:>7.3f} {row}")
+    for workload in WORKLOADS:
+        value = by_workload[workload].value
+        row = " ".join(f"{score:.2f}" for score in value["scores"])
+        label = {"lm": "wikitext2-lm", "vit": "cifar10-vit"}.get(workload, workload)
+        print(f"{label:>14} {value['metric']:>9} {value['baseline']:>7.3f} {row}")
     print("\npaper: 5-10% (encoders/ViT) and 5-20% (decoders) SLC suffices to stay")
     print("       within 1% accuracy / 10% loss of the baseline; 0% (all-MLC) is worst.")
     print("note: mini models degrade less at 0% than the paper's 12-24 layer models")
@@ -112,9 +41,11 @@ def test_fig12_accuracy_vs_slc_rate(benchmark, print_header):
 
     # Directional assertions: all-MLC never beats the protected settings by
     # more than noise, and moderate protection tracks the baseline.
-    for name, (baseline, sweep, metric) in results.items():
-        if metric == "loss":
-            assert sweep[0.0] >= sweep[1.0] - 1e-9
-            assert sweep[0.3] <= sweep[0.0] + 0.05
+    for workload in WORKLOADS:
+        value = by_workload[workload].value
+        score = dict(zip(value["rates"], value["scores"]))
+        if value["metric"] == "loss":
+            assert score[0.0] >= score[1.0] - 1e-9, workload
+            assert score[0.3] <= score[0.0] + 0.05, workload
         else:
-            assert sweep[0.3] >= sweep[0.0] - 0.05
+            assert score[0.3] >= score[0.0] - 0.05, workload

@@ -3,88 +3,45 @@
 Compares the three protection policies at matched protection rates on two
 GLUE-like tasks (the paper uses MRPC and CoLA).  The magnitude baseline
 protects dense weight elements by |w| without SVD; gradient and rank
-policies operate on the factored ranks.
+policies operate on the factored ranks.  Both tasks run as one cached
+``repro.exp`` sweep.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from conftest import train_mini_encoder
-from repro.core import HyFlexPim
-from repro.datasets import make_glue_task
-from repro.eval import evaluate_classifier
-from repro.nn import EncoderClassifier
-from repro.pim import MagnitudeProtectedLinear
-from repro.svd import select_elements_by_magnitude
+from repro.exp import ExperimentSpec
 
 RATES = (0.0, 0.05, 0.1, 0.3, 0.5, 1.0)
+TASKS = ("mrpc", "cola")
+POLICIES = ("magnitude", "rank", "gradient")
 
 
-def _magnitude_sweep(model: EncoderClassifier, state: dict, data, metric: str):
-    """Dense (no-SVD) deployment with elementwise |w| protection."""
-    import copy
+def test_fig13_selection_policies(benchmark, print_header, runner):
+    sweep = ExperimentSpec("fig13", params={"rates": RATES}).sweep(task=TASKS)
 
-    results = {}
-    for rate in RATES:
-        deployed = EncoderClassifier(model.config)
-        deployed.load_state_dict(state)
-        import zlib
-
-        for name, linear in list(deployed.iter_static_linears()):
-            mask = select_elements_by_magnitude(linear.weight.data, rate, norm="l1")
-            replacement = MagnitudeProtectedLinear(
-                linear.weight.data,
-                linear.bias.data if linear.bias is not None else None,
-                mask,
-                seed=zlib.crc32(name.encode()) % 1000,
-            )
-            deployed.replace_static_linear(name, replacement)
-        results[rate] = evaluate_classifier(deployed, data.test, metric=metric)
-    return results
-
-
-def test_fig13_selection_policies(benchmark, print_header):
-    def run():
-        results = {}
-        for task in ("mrpc", "cola"):
-            data = make_glue_task(task, seed=0)
-            metric = "matthews" if data.spec.metric == "matthews" else "accuracy"
-            model = train_mini_encoder(data, num_layers=3, epochs=6)
-            state = model.state_dict()
-            magnitude = _magnitude_sweep(model, state, data, metric)
-
-            hfp = HyFlexPim(protect_fraction=0.1, epochs=2, batch_size=32, learning_rate=2e-3)
-            compiled = hfp.compile(model, data.train, task_type="classification")
-            gradient = hfp.protection_sweep(
-                compiled, data.test, rates=RATES, metric=metric, policy="gradient"
-            )
-            rank = hfp.protection_sweep(
-                compiled, data.test, rates=RATES, metric=metric, policy="rank"
-            )
-            results[task] = {
-                "metric": metric,
-                "magnitude": magnitude,
-                "rank": rank,
-                "gradient": gradient,
-            }
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    series = benchmark.pedantic(
+        lambda: runner.sweep(sweep), rounds=1, iterations=1
+    )
+    by_task = series.by_param("task")
 
     print_header("Fig. 13 — SLC selection policies (magnitude vs rank vs gradient)")
-    for task, series in results.items():
-        print(f"\n[{task}] metric = {series['metric']}")
+    for task in TASKS:
+        value = by_task[task].value
+        print(f"\n[{task}] metric = {value['metric']}")
         print(f"{'policy':>10} " + " ".join(f"{int(r*100):>5}%" for r in RATES))
-        for policy in ("magnitude", "rank", "gradient"):
-            row = " ".join(f"{series[policy][r]:.3f}" for r in RATES)
+        for policy in POLICIES:
+            row = " ".join(f"{score:.3f}" for score in value["series"][policy])
             print(f"{policy:>10} {row}")
-        grad_mean = np.mean([series["gradient"][r] for r in (0.05, 0.1, 0.3)])
-        rank_mean = np.mean([series["rank"][r] for r in (0.05, 0.1, 0.3)])
-        mag_mean = np.mean([series["magnitude"][r] for r in (0.05, 0.1, 0.3)])
+        mid = [i for i, r in enumerate(value["rates"]) if r in (0.05, 0.1, 0.3)]
+        means = {
+            policy: float(np.mean([value["series"][policy][i] for i in mid]))
+            for policy in POLICIES
+        }
         print(
-            f"{'mean@5-30%':>10} magnitude {mag_mean:.3f} | rank {rank_mean:.3f} "
-            f"| gradient {grad_mean:.3f}"
+            f"{'mean@5-30%':>10} magnitude {means['magnitude']:.3f} | "
+            f"rank {means['rank']:.3f} | gradient {means['gradient']:.3f}"
         )
     print("\npaper: gradient-based selection consistently outperforms both")
     print("       ablations because it is tied to the training loss.")

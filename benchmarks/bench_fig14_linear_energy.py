@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from repro.arch import FIG14_SEQ_LENS, FIG14_SLC_RATES, PerformanceComparison
-from repro.models import paper_model
+from repro.arch import FIG14_SEQ_LENS, FIG14_SLC_RATES
+from repro.exp import ExperimentSpec
 
 PAPER_ANCHORS = {
     # N=128 values read off Fig. 14 (non-PIM = 100).
@@ -12,17 +12,24 @@ PAPER_ANCHORS = {
 }
 
 
-def test_fig14_linear_layer_energy(benchmark, print_header):
-    comparison = PerformanceComparison()
-    spec = paper_model("bert-large")
+def test_fig14_linear_layer_energy(benchmark, print_header, fresh_runner):
+    spec = ExperimentSpec(
+        "fig14",
+        params={
+            "model": "bert-large",
+            "seq_lens": FIG14_SEQ_LENS,
+            "slc_rates": FIG14_SLC_RATES,
+        },
+    )
 
-    def run():
-        return comparison.linear_energy_table(spec, FIG14_SEQ_LENS, FIG14_SLC_RATES)
-
-    table = benchmark(run)
+    result = benchmark(lambda: fresh_runner.run(spec))
+    columns = result["columns"]
+    table = {
+        n: dict(zip(columns, row))
+        for n, row in zip(result["seq_lens"], result["rows"])
+    }
 
     print_header("Fig. 14 — linear-layer energy normalized to non-PIM = 100 (BERT-Large)")
-    columns = list(next(iter(table.values())))
     print(f"{'N':>6} " + " ".join(f"{c:>14}" for c in columns))
     for n, row in table.items():
         print(f"{n:>6} " + " ".join(f"{row[c]:>14.1f}" for c in columns))

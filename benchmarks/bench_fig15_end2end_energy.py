@@ -2,35 +2,37 @@
 
 from __future__ import annotations
 
-from repro.arch import PerformanceComparison
-from repro.models import paper_model
+from repro.exp import ExperimentSpec
 
 SEQ_LENS = (128, 512, 1024)
+CASES = (("bert-large", 0.05), ("gpt2", 0.30))
 
 
-def test_fig15_end_to_end_energy(benchmark, print_header):
-    comparison = PerformanceComparison()
-    cases = ((paper_model("bert-large"), 0.05), (paper_model("gpt2"), 0.30))
+def test_fig15_end_to_end_energy(benchmark, print_header, fresh_runner):
+    spec = ExperimentSpec("fig15", params={"seq_lens": SEQ_LENS, "cases": CASES})
 
-    def run():
-        improvements = {}
-        breakdowns = {}
-        for spec, rate in cases:
-            improvements[spec.name] = {
-                n: comparison.energy_improvement(spec, n, rate) for n in SEQ_LENS
-            }
-            breakdowns[spec.name] = {
-                n: comparison.end_to_end_energy(spec, n, rate).shares() for n in SEQ_LENS
-            }
-        return improvements, breakdowns
-
-    improvements, breakdowns = benchmark(run)
+    result = benchmark(lambda: fresh_runner.run(spec))
+    baselines = result["baselines"]
+    categories = result["categories"]
+    improvements = {
+        name: {
+            n: dict(zip(baselines, row))
+            for n, row in zip(result["seq_lens"], payload["rows"])
+        }
+        for name, payload in result["improvements"].items()
+    }
+    breakdowns = {
+        name: {
+            n: dict(zip(categories, row))
+            for n, row in zip(result["seq_lens"], payload["rows"])
+        }
+        for name, payload in result["breakdowns"].items()
+    }
 
     print_header("Fig. 15(a,c) — end-to-end energy improvement over baselines (x)")
     for model_name, per_n in improvements.items():
-        rate = "5%" if model_name == "bert-large" else "30%"
-        print(f"\n[{model_name} @ {rate} SLC]")
-        baselines = list(next(iter(per_n.values())))
+        rate = result["improvements"][model_name]["slc_rate"]
+        print(f"\n[{model_name} @ {int(rate * 100)}% SLC]")
         print(f"{'N':>6} " + " ".join(f"{b:>13}" for b in baselines))
         for n, row in per_n.items():
             print(f"{n:>6} " + " ".join(f"{row[b]:>12.2f}x" for b in baselines))
@@ -41,9 +43,9 @@ def test_fig15_end_to_end_energy(benchmark, print_header):
     print_header("Fig. 15(b,d) — HyFlexPIM energy breakdown (share of total)")
     for model_name, per_n in breakdowns.items():
         print(f"\n[{model_name}]")
-        categories = sorted(next(iter(per_n.values())), key=lambda c: -per_n[SEQ_LENS[0]][c])
+        ordered = sorted(categories, key=lambda c: -per_n[SEQ_LENS[0]][c])
         print(f"{'category':>20} " + " ".join(f"N={n:>5}" for n in SEQ_LENS))
-        for category in categories:
+        for category in ordered:
             row = " ".join(f"{per_n[n][category] * 100:>6.1f}%" for n in SEQ_LENS)
             print(f"{category:>20} {row}")
 

@@ -2,24 +2,36 @@
 
 from __future__ import annotations
 
-from repro.arch import PerformanceComparison
-from repro.models import paper_model
+from repro.exp import ExperimentSpec, Series
 
 SEQ_LENS = (128, 512, 1024, 2048, 4096, 8192)
+DECODE_SEQ_LENS = (512, 1024, 2048)
 RATES = (0.05, 0.1, 0.3, 0.4, 0.5)
 
 
-def test_fig16_speedup(benchmark, print_header):
-    comparison = PerformanceComparison()
-    bert = paper_model("bert-large")
-    gpt2 = paper_model("gpt2")
+def _tables(value: dict) -> dict:
+    return {
+        baseline: {
+            n: dict(zip(value["rates"], row))
+            for n, row in zip(value["seq_lens"], rows)
+        }
+        for baseline, rows in value["tables"].items()
+    }
 
-    def run():
-        glue = comparison.speedup_table(bert, SEQ_LENS, RATES)
-        wikitext = comparison.speedup_table(gpt2, (512, 1024, 2048), RATES, mode="decode")
-        return glue, wikitext
 
-    glue, wikitext = benchmark(run)
+def test_fig16_speedup(benchmark, print_header, fresh_runner):
+    prefill = ExperimentSpec(
+        "fig16", params={"model": "bert-large", "mode": "prefill",
+                         "seq_lens": SEQ_LENS, "rates": RATES},
+    )
+    decode = ExperimentSpec(
+        "fig16", params={"model": "gpt2", "mode": "decode",
+                         "seq_lens": DECODE_SEQ_LENS, "rates": RATES},
+    )
+
+    series: Series = benchmark(lambda: fresh_runner.sweep([prefill, decode]))
+    glue = _tables(series[0].value)
+    wikitext = _tables(series[1].value)
 
     print_header("Fig. 16(a) — GLUE-class (BERT-Large prefill) speedup")
     for name, per_n in glue.items():

@@ -2,48 +2,37 @@
 
 from __future__ import annotations
 
-from repro.arch import ScalabilityModel
-from repro.models import paper_model
+from repro.exp import ExperimentSpec
 
 SEQ_LEN = 8192  # the paper's Fig. 17 operating point
 
 
-def test_fig17_scalability(benchmark, print_header):
-    model = ScalabilityModel()
-    gpt2 = paper_model("gpt2")
-    llama = paper_model("llama3-1b")
+def test_fig17_scalability(benchmark, print_header, fresh_runner):
+    spec = ExperimentSpec(
+        "fig17", params={"seq_len": SEQ_LEN, "slc_rate": 0.2, "chips": (2, 4, 8)}
+    )
 
-    def run():
-        gpt2_one = model.throughput(gpt2, SEQ_LEN, 0.2, 1, pus_per_layer=1)
-        gpt2_two = model.throughput(gpt2, SEQ_LEN, 0.2, 1, pus_per_layer=2)
-        llama_curve = model.scaling_curve(llama, SEQ_LEN, 0.2, (2, 4, 8))
-        demands = {
-            spec.name: model.memory_demand(spec, SEQ_LEN)
-            for spec in (gpt2, llama)
-        }
-        return gpt2_one, gpt2_two, llama_curve, demands
-
-    gpt2_one, gpt2_two, llama_curve, demands = benchmark(run)
+    result = benchmark(lambda: fresh_runner.run(spec))
 
     print_header("Fig. 17 — memory requirements and throughput scalability (N=8192)")
-    for name, demand in demands.items():
+    for name, demand in result["memory_demand"].items():
         print(
             f"{name:>12}: analog weights {demand['analog_bytes'] / 1e9:.2f} GB, "
             f"digital (KV+buffers) {demand['digital_bytes'] / 1e9:.2f} GB"
         )
 
-    ratio = gpt2_two.tokens_per_second / gpt2_one.tokens_per_second
+    ratio = result["tensor_parallel_ratio"]
     print(f"\nGPT-2 tensor parallelism: 2 PUs/layer = {ratio:.2f}x (paper: 1.99x)")
 
-    print(f"Llama3 minimum chips: {model.min_chips(llama, 0.2, SEQ_LEN)} (paper: 2)")
+    print(f"Llama3 minimum chips: {result['min_chips']} (paper: 2)")
     print(f"{'chips':>6} {'PUs/layer':>10} {'norm. throughput':>17} {'fits':>5}")
-    for report in llama_curve:
+    for report in result["scaling_curve"]:
         print(
-            f"{report.num_chips:>6} {report.pus_per_layer:>10} "
-            f"{report.normalized_throughput:>16.2f}x {str(report.fits):>5}"
+            f"{report['num_chips']:>6} {report['pus_per_layer']:>10} "
+            f"{report['normalized_throughput']:>16.2f}x {str(report['fits']):>5}"
         )
     print("paper: quad 1.96x, octa 3.65x over dual (minor comm. degradation).")
 
     assert 1.9 < ratio <= 2.0
-    assert model.min_chips(llama, 0.2, SEQ_LEN) == 2
-    assert llama_curve[-1].normalized_throughput > 3.0
+    assert result["min_chips"] == 2
+    assert result["scaling_curve"][-1]["normalized_throughput"] > 3.0

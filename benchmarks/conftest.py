@@ -1,59 +1,51 @@
-"""Shared helpers for the per-figure/table benchmark harness.
+"""Shared fixtures for the per-figure/table benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper's evaluation
 and prints the series it produces, so `pytest benchmarks/ --benchmark-only`
 doubles as the experiment log (captured into EXPERIMENTS.md).
+
+The sweep-shaped figures all execute through :class:`repro.exp.Runner`:
+results are cached under ``.repro_cache/`` (delete it — or edit any
+``repro`` source, which rolls the code fingerprint — to recompute) and
+uncached points fan out across a process pool (``REPRO_BENCH_WORKERS``
+overrides the pool size; ``0`` forces serial).  The cheap analytic
+figures (2, 14-17) use ``fresh_runner`` so their recorded timings always
+measure real computation; the training figures (11-13) replay from cache,
+so their timings reflect cache state by design.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import os
+
 import pytest
 
-from repro.datasets import GlueTaskData, make_glue_task
-from repro.nn import (
-    AdamW,
-    BatchIterator,
-    EncoderClassifier,
-    TransformerConfig,
-    cross_entropy,
-    mse_loss,
-)
+from repro.exp import Runner
 
 
-def train_mini_encoder(
-    data: GlueTaskData,
-    num_layers: int = 3,
-    d_model: int = 32,
-    epochs: int = 5,
-    regression: bool = False,
-    seed: int = 0,
-) -> EncoderClassifier:
-    """Train a down-scaled BERT-like encoder on a synthetic GLUE task."""
-    config = TransformerConfig(
-        vocab_size=data.spec.vocab_size,
-        d_model=d_model,
-        num_heads=4,
-        num_layers=num_layers,
-        d_ff=2 * d_model,
-        max_seq_len=data.spec.seq_len,
-        num_classes=1 if regression else 2,
-        seed=seed,
-    )
-    model = EncoderClassifier(config)
-    optimizer = AdamW(model.parameters(), lr=2e-3)
-    rng = np.random.default_rng(seed)
-    for _ in range(epochs):
-        for inputs, targets in BatchIterator(data.train, 32, rng=rng):
-            logits = model(inputs)
-            if regression:
-                loss = mse_loss(logits.reshape(-1), targets)
-            else:
-                loss = cross_entropy(logits, targets.astype(int))
-            model.zero_grad()
-            loss.backward()
-            optimizer.step()
-    return model
+def _default_workers() -> int:
+    override = os.environ.get("REPRO_BENCH_WORKERS")
+    if override is not None:
+        return int(override)
+    return min(4, os.cpu_count() or 1)
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    """Session-wide experiment runner (shared cache + worker pool)."""
+    return Runner(workers=_default_workers())
+
+
+@pytest.fixture(scope="session")
+def fresh_runner() -> Runner:
+    """Cache-free runner: honest timings for the cheap analytic figs.
+
+    ``use_cache=False`` rather than ``force=True`` so the timed iterations
+    measure only the computation, not repeated cache writes — and serial
+    (``workers=0``) so sub-millisecond analytic points aren't swamped by
+    process-pool startup.
+    """
+    return Runner(workers=0, use_cache=False)
 
 
 @pytest.fixture(scope="session")

@@ -3,22 +3,21 @@
 Regenerates, at paper scale (BERT-Large / GPT-2 / Llama3 dimensions), the
 analytic results behind Figs. 14-17: linear-layer energy, end-to-end energy
 improvement, throughput speedups and multi-chip scalability — all from
-Table 2-derived component energies.
+Table 2-derived component energies.  Each figure is one registered
+``repro.exp`` experiment, so results land in the shared ``.repro_cache/``
+and re-runs are instant.
 
 Run:  python examples/accelerator_comparison.py
 """
 
 from __future__ import annotations
 
-from repro.arch import PerformanceComparison, ScalabilityModel, area_report
-from repro.models import paper_model
+from repro.arch import area_report
+from repro.exp import ExperimentSpec, Runner
 
 
 def main() -> None:
-    comparison = PerformanceComparison()
-    bert = paper_model("bert-large")
-    gpt2 = paper_model("gpt2")
-    llama = paper_model("llama3-1b")
+    runner = Runner()
 
     print("== Hardware roll-up (Table 2) ==")
     report = area_report()
@@ -27,46 +26,71 @@ def main() -> None:
     print(f"processing unit {report.pu_mm2:.1f} mm^2; chip {report.chip_mm2:.0f} mm^2 (65 nm)")
 
     print("\n== Linear-layer energy, normalized to non-PIM=100 (Fig. 14) ==")
-    table = comparison.linear_energy_table(bert, seq_lens=(128, 1024, 8192), slc_rates=(0.05, 0.5))
-    header = None
-    for n, row in table.items():
-        if header is None:
-            header = list(row)
-            print(f"{'N':>6} " + " ".join(f"{h:>14}" for h in header))
-        print(f"{n:>6} " + " ".join(f"{row[h]:>14.1f}" for h in header))
+    fig14 = runner.run(
+        ExperimentSpec(
+            "fig14",
+            params={"model": "bert-large", "seq_lens": (128, 1024, 8192), "slc_rates": (0.05, 0.5)},
+        )
+    )
+    columns = fig14["columns"]
+    print(f"{'N':>6} " + " ".join(f"{c:>14}" for c in columns))
+    for n, row in zip(fig14["seq_lens"], fig14["rows"]):
+        print(f"{n:>6} " + " ".join(f"{v:>14.1f}" for v in row))
 
     print("\n== End-to-end energy improvement over baselines (Fig. 15) ==")
-    for spec, rate in ((bert, 0.05), (gpt2, 0.30)):
-        for n in (128, 512, 1024):
-            improvement = comparison.energy_improvement(spec, n, rate)
-            row = ", ".join(f"{k} {v:.2f}x" for k, v in improvement.items())
-            print(f"{spec.name} N={n} @{int(rate*100)}% SLC: {row}")
+    fig15 = runner.run(
+        ExperimentSpec(
+            "fig15",
+            params={"seq_lens": (128, 512, 1024), "cases": (("bert-large", 0.05), ("gpt2", 0.30))},
+        )
+    )
+    for name, payload in fig15["improvements"].items():
+        rate = payload["slc_rate"]
+        for n, row in zip(fig15["seq_lens"], payload["rows"]):
+            cells = ", ".join(f"{b} {v:.2f}x" for b, v in zip(fig15["baselines"], row))
+            print(f"{name} N={n} @{int(rate * 100)}% SLC: {cells}")
 
     print("\n== Energy breakdown at N=1024 (Fig. 15b) ==")
-    shares = comparison.end_to_end_energy(bert, 1024, 0.05).shares()
+    bert_rows = fig15["breakdowns"]["bert-large"]["rows"]
+    shares = dict(zip(fig15["categories"], bert_rows[fig15["seq_lens"].index(1024)]))
     for category, share in sorted(shares.items(), key=lambda kv: -kv[1]):
         print(f"  {category:>20}: {share * 100:5.1f}%")
 
     print("\n== Speedups (Fig. 16) ==")
-    prefill = comparison.speedup_table(bert, seq_lens=(128, 1024), slc_rates=(0.05, 0.2, 0.5))
-    for name, per_n in prefill.items():
-        for n, rates in per_n.items():
-            row = ", ".join(f"{int(r*100)}%:{v:.2f}x" for r, v in rates.items())
-            print(f"  vs {name} (BERT-Large prefill, N={n}): {row}")
-    decode = comparison.speedup_table(gpt2, seq_lens=(1024,), slc_rates=(0.2,), mode="decode")
-    print(f"  vs sprint (GPT-2 decode, N=1024, 20% SLC): {decode['sprint'][1024][0.2]:.1f}x")
+    prefill = runner.run(
+        ExperimentSpec(
+            "fig16",
+            params={"model": "bert-large", "mode": "prefill",
+                    "seq_lens": (128, 1024), "rates": (0.05, 0.2, 0.5)},
+        )
+    )
+    for name, rows in prefill["tables"].items():
+        for n, row in zip(prefill["seq_lens"], rows):
+            cells = ", ".join(
+                f"{int(r * 100)}%:{v:.2f}x" for r, v in zip(prefill["rates"], row)
+            )
+            print(f"  vs {name} (BERT-Large prefill, N={n}): {cells}")
+    decode = runner.run(
+        ExperimentSpec(
+            "fig16",
+            params={"model": "gpt2", "mode": "decode", "seq_lens": (1024,), "rates": (0.2,)},
+        )
+    )
+    print(f"  vs sprint (GPT-2 decode, N=1024, 20% SLC): {decode['tables']['sprint'][0][0]:.1f}x")
 
     print("\n== Scalability (Fig. 17) ==")
-    scaling = ScalabilityModel()
-    one = scaling.throughput(gpt2, 8192, 0.2, 1, pus_per_layer=1)
-    two = scaling.throughput(gpt2, 8192, 0.2, 1, pus_per_layer=2)
-    print(f"GPT-2: 2 PUs/layer gives {two.tokens_per_second / one.tokens_per_second:.2f}x (paper: 1.99x)")
-    print(f"Llama3 minimum chips: {scaling.min_chips(llama, 0.2, 8192)} (paper: 2)")
-    for report in scaling.scaling_curve(llama, 8192, 0.2, (2, 4, 8)):
+    fig17 = runner.run(
+        ExperimentSpec("fig17", params={"seq_len": 8192, "slc_rate": 0.2, "chips": (2, 4, 8)})
+    )
+    ratio = fig17["tensor_parallel_ratio"]
+    print(f"GPT-2: 2 PUs/layer gives {ratio:.2f}x (paper: 1.99x)")
+    print(f"Llama3 minimum chips: {fig17['min_chips']} (paper: 2)")
+    for report in fig17["scaling_curve"]:
         print(
-            f"  Llama3 x{report.num_chips} chips: {report.normalized_throughput:.2f}x vs dual, "
-            f"weights {report.analog_demand_gb:.2f} GB, KV {report.digital_demand_gb:.2f} GB, "
-            f"fits={report.fits}"
+            f"  Llama3 x{report['num_chips']} chips: "
+            f"{report['normalized_throughput']:.2f}x vs dual, "
+            f"weights {report['analog_demand_gb']:.2f} GB, "
+            f"KV {report['digital_demand_gb']:.2f} GB, fits={report['fits']}"
         )
 
 

@@ -1,10 +1,11 @@
 """Decoder LM study: evaluation loss vs SLC rate (mini Fig. 12(b)).
 
-Trains a GPT-like causal LM on the WikiText-2 stand-in corpus, compiles it
-through gradient redistribution, and reports evaluation loss under hybrid
-SLC/MLC deployment.  The paper finds decoders need more protection (5-20 %)
-than encoders; the same trend appears here.  Also demonstrates generation
-with a deployed model.
+Trains a GPT-like causal LM on the WikiText-2 stand-in corpus (via the
+shared :func:`repro.exp.train_decoder_lm` builder), compiles it through
+gradient redistribution, and reports evaluation loss under hybrid SLC/MLC
+deployment — rate points fan out over worker processes.  The paper finds
+decoders need more protection (5-20 %) than encoders; the same trend
+appears here.  Also demonstrates generation with a deployed model.
 
 Run:  python examples/decoder_lm_study.py
 """
@@ -15,35 +16,19 @@ import numpy as np
 
 from repro.core import HyFlexPim
 from repro.datasets import wikitext2_like
-from repro.nn import AdamW, BatchIterator, DecoderLM, TransformerConfig, lm_cross_entropy
+from repro.exp import train_decoder_lm
 
 
 def main() -> None:
     print("== Decoder LM protection study (mini Fig. 12b) ==")
     corpus = wikitext2_like(seed=0)
-    config = TransformerConfig(
-        vocab_size=corpus.spec.vocab_size,
-        d_model=32,
-        num_heads=4,
-        num_layers=2,
-        d_ff=128,  # GPT-2's 4x expansion
-        max_seq_len=corpus.spec.seq_len,
-        seed=0,
-    )
-    model = DecoderLM(config)
-    optimizer = AdamW(model.parameters(), lr=2e-3)
-    rng = np.random.default_rng(0)
     print(f"chain entropy rate (lower bound): {corpus.entropy_rate:.3f} nats/token")
-    for epoch in range(4):
-        total, batches = 0.0, 0
-        for inputs, targets in BatchIterator(corpus.train, 16, rng=rng):
-            loss = lm_cross_entropy(model(inputs), targets)
-            model.zero_grad()
-            loss.backward()
-            optimizer.step()
-            total += float(loss.data)
-            batches += 1
-        print(f"  epoch {epoch + 1}: train loss {total / batches:.3f}")
+    model = train_decoder_lm(
+        corpus,
+        num_layers=2,
+        epochs=4,
+        on_epoch=lambda epoch, loss: print(f"  epoch {epoch}: train loss {loss:.3f}"),
+    )
 
     hfp = HyFlexPim(protect_fraction=0.2, epochs=2, batch_size=16, learning_rate=2e-3)
     compiled = hfp.compile(model, corpus.train, task_type="lm")
@@ -52,7 +37,9 @@ def main() -> None:
           f"(ppl {np.exp(baseline):.1f}, uniform would be {corpus.spec.vocab_size})")
 
     print("eval loss vs SLC rate (lower is better):")
-    sweep = hfp.protection_sweep(compiled, corpus.test, rates=(0.0, 0.05, 0.2, 0.5, 1.0))
+    sweep = hfp.protection_sweep(
+        compiled, corpus.test, rates=(0.0, 0.05, 0.2, 0.5, 1.0), workers=2
+    )
     for rate, loss in sweep.items():
         increase = 100.0 * (loss - sweep[1.0]) / sweep[1.0]
         print(f"  SLC {rate * 100:5.1f}%: loss {loss:.3f} (+{increase:5.1f}% vs all-SLC)")

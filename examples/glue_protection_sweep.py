@@ -3,6 +3,10 @@
 Reproduces the *shape* of Fig. 12(a) (accuracy vs SLC rate per task) and
 Fig. 13 (gradient- vs rank-based selection) on synthetic GLUE stand-ins.
 
+The tasks run as one ``repro.exp`` sweep: each task is a grid point of the
+registered ``fig13`` experiment, fanned out across worker processes and
+cached under ``.repro_cache/`` — re-running this script is instant.
+
 Run:  python examples/glue_protection_sweep.py [task ...]
 """
 
@@ -10,52 +14,11 @@ from __future__ import annotations
 
 import sys
 
-import numpy as np
-
-from repro.core import HyFlexPim
-from repro.datasets import GLUE_TASKS, make_glue_task
-from repro.nn import AdamW, BatchIterator, EncoderClassifier, TransformerConfig, cross_entropy
+from repro.datasets import GLUE_TASKS
+from repro.exp import ExperimentSpec, Runner
 
 RATES = (0.0, 0.05, 0.1, 0.3, 0.5, 1.0)
-
-
-def run_task(name: str) -> None:
-    data = make_glue_task(name, seed=0)
-    metric = {"matthews": "matthews"}.get(data.spec.metric, "accuracy")
-    if data.spec.kind == "regression":
-        print(f"-- {name}: regression tasks are exercised in Fig. 12 bench --")
-        return
-    config = TransformerConfig(
-        vocab_size=data.spec.vocab_size,
-        d_model=32,
-        num_heads=4,
-        num_layers=2,
-        d_ff=64,
-        max_seq_len=data.spec.seq_len,
-        num_classes=2,
-        seed=0,
-    )
-    model = EncoderClassifier(config)
-    optimizer = AdamW(model.parameters(), lr=2e-3)
-    rng = np.random.default_rng(0)
-    for _ in range(4):
-        for inputs, targets in BatchIterator(data.train, 32, rng=rng):
-            loss = cross_entropy(model(inputs), targets.astype(int))
-            model.zero_grad()
-            loss.backward()
-            optimizer.step()
-
-    hfp = HyFlexPim(protect_fraction=0.1, epochs=2, batch_size=32, learning_rate=2e-3)
-    compiled = hfp.compile(model, data.train, task_type="classification")
-    baseline = hfp.ideal_reference(compiled, data.test, metric=metric)
-
-    print(f"-- {name} ({data.spec.metric}) | noise-free INT8 baseline: {baseline:.3f}")
-    for policy in ("gradient", "rank"):
-        sweep = hfp.protection_sweep(
-            compiled, data.test, rates=RATES, metric=metric, policy=policy
-        )
-        series = "  ".join(f"{r * 100:4.0f}%:{v:.3f}" for r, v in sweep.items())
-        print(f"   {policy:>8}-based  {series}")
+POLICIES = ("rank", "gradient")
 
 
 def main() -> None:
@@ -64,8 +27,32 @@ def main() -> None:
     if unknown:
         raise SystemExit(f"unknown tasks {unknown}; options: {sorted(GLUE_TASKS)}")
     print("== GLUE protection sweep (mini Fig. 12a / Fig. 13) ==")
+
+    runnable = []
     for task in tasks:
-        run_task(task)
+        if GLUE_TASKS[task].kind == "regression":
+            print(f"-- {task}: regression tasks are exercised in the Fig. 12 bench --")
+        else:
+            runnable.append(task)
+
+    sweep = ExperimentSpec(
+        "fig13",
+        params={"rates": RATES, "policies": POLICIES, "num_layers": 2, "train_epochs": 4},
+    ).sweep(task=runnable)
+    series = Runner(workers=min(4, len(runnable) or 1)).sweep(sweep)
+
+    for result in series:
+        value = result.value
+        task = value["task"]
+        cached = " (cached)" if result.cached else ""
+        print(
+            f"-- {task} ({GLUE_TASKS[task].metric}) | "
+            f"noise-free INT8 baseline: {value['baseline']:.3f}{cached}"
+        )
+        for policy in POLICIES:
+            series_scores = zip(value["rates"], value["series"][policy])
+            row = "  ".join(f"{r * 100:4.0f}%:{v:.3f}" for r, v in series_scores)
+            print(f"   {policy:>8}-based  {row}")
 
 
 if __name__ == "__main__":

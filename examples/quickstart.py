@@ -2,59 +2,37 @@
 
 Walks the full paper workflow in miniature:
 
-1. train a BERT-like encoder on a synthetic sst2-style sentiment task;
+1. train a BERT-like encoder on a synthetic sst2-style sentiment task
+   (via the shared :func:`repro.exp.train_encoder` builder);
 2. ``compile`` — SVD decomposition, hard-threshold truncation, fine-tuning
    with singular-value gradient accumulation (Algorithm 1);
 3. ``deploy`` — map protected ranks to SLC and the rest to 2-bit MLC, with
    BER-calibrated programming noise (Eq. 5);
-4. evaluate accuracy across SLC protection rates (a mini Fig. 12 column).
+4. evaluate accuracy across SLC protection rates (a mini Fig. 12 column),
+   fanning the rate points out over two worker processes.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import HyFlexPim
 from repro.datasets import make_glue_task
-from repro.nn import AdamW, BatchIterator, EncoderClassifier, TransformerConfig, cross_entropy
-
-
-def train_dense_model(data, config, epochs: int = 4) -> EncoderClassifier:
-    """Pre-train the dense encoder the paper would download pretrained."""
-    model = EncoderClassifier(config)
-    optimizer = AdamW(model.parameters(), lr=2e-3)
-    rng = np.random.default_rng(0)
-    for epoch in range(epochs):
-        total, batches = 0.0, 0
-        for inputs, targets in BatchIterator(data.train, 32, rng=rng):
-            loss = cross_entropy(model(inputs), targets.astype(int))
-            model.zero_grad()
-            loss.backward()
-            optimizer.step()
-            total += float(loss.data)
-            batches += 1
-        print(f"  epoch {epoch + 1}: train loss {total / batches:.4f}")
-    return model
+from repro.exp import train_encoder
 
 
 def main() -> None:
     print("== HyFlexPIM quickstart ==")
     data = make_glue_task("sst2", seed=0)
-    config = TransformerConfig(
-        vocab_size=data.spec.vocab_size,
-        d_model=32,
-        num_heads=4,
-        num_layers=2,
-        d_ff=64,
-        max_seq_len=data.spec.seq_len,
-        num_classes=2,
-        seed=0,
-    )
 
     print("[1/4] training the dense encoder")
-    model = train_dense_model(data, config)
+    model = train_encoder(
+        data,
+        num_layers=2,
+        d_ff=64,
+        epochs=4,
+        on_epoch=lambda epoch, loss: print(f"  epoch {epoch}: train loss {loss:.4f}"),
+    )
 
     print("[2/4] compiling: SVD + hard threshold + gradient redistribution")
     hfp = HyFlexPim(protect_fraction=0.1, epochs=2, batch_size=32, learning_rate=2e-3)
@@ -66,9 +44,9 @@ def main() -> None:
     baseline = hfp.ideal_reference(compiled, data.test)
     print(f"  noise-free INT8 baseline accuracy: {baseline:.3f}")
 
-    print("[4/4] accuracy vs SLC protection rate (mini Fig. 12)")
+    print("[4/4] accuracy vs SLC protection rate (mini Fig. 12, 2 workers)")
     rates = (0.0, 0.05, 0.1, 0.3, 0.5, 1.0)
-    sweep = hfp.protection_sweep(compiled, data.test, rates=rates)
+    sweep = hfp.protection_sweep(compiled, data.test, rates=rates, workers=2)
     for rate, score in sweep.items():
         marker = " <- all-MLC" if rate == 0.0 else (" <- all-SLC" if rate == 1.0 else "")
         print(f"  SLC {rate * 100:5.1f}%: accuracy {score:.3f}{marker}")

@@ -1,58 +1,40 @@
 """ViT study: CIFAR-10-like classification under hybrid PIM (Fig. 12 ViT column).
 
-Trains a small vision transformer on the procedural 10-class image set,
-compiles and deploys it on hybrid SLC/MLC PIM, and verifies the paper's
-finding that vision transformers tolerate low protection rates (~5 %).
+Trains a small vision transformer on the procedural 10-class image set (via
+the shared :func:`repro.exp.train_vit` builder), compiles and deploys it on
+hybrid SLC/MLC PIM, and verifies the paper's finding that vision
+transformers tolerate low protection rates (~5 %).
 
 Run:  python examples/vit_vision_study.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import HyFlexPim
 from repro.datasets import make_vision_dataset
 from repro.datasets.synthetic_vision import VisionSpec
-from repro.nn import AdamW, BatchIterator, TransformerConfig, VisionTransformer, cross_entropy
+from repro.exp import train_vit
 
 
 def main() -> None:
     print("== ViT protection study (mini Fig. 12, CIFAR-10-like) ==")
     spec = VisionSpec(image_size=16, train_size=400, test_size=120, noise_std=0.2)
     data = make_vision_dataset(spec, seed=0)
-    config = TransformerConfig(
-        d_model=32,
-        num_heads=4,
+    model = train_vit(
+        data,
         num_layers=2,
-        d_ff=128,
-        image_size=16,
-        patch_size=4,
-        in_channels=3,
-        num_classes=10,
-        max_seq_len=32,
-        seed=0,
+        epochs=5,
+        on_epoch=lambda epoch, loss: print(f"  epoch {epoch}: train loss {loss:.3f}"),
     )
-    model = VisionTransformer(config)
-    optimizer = AdamW(model.parameters(), lr=2e-3)
-    rng = np.random.default_rng(0)
-    for epoch in range(5):
-        total, batches = 0.0, 0
-        for inputs, targets in BatchIterator(data.train, 32, rng=rng):
-            loss = cross_entropy(model(inputs), targets.astype(int))
-            model.zero_grad()
-            loss.backward()
-            optimizer.step()
-            total += float(loss.data)
-            batches += 1
-        print(f"  epoch {epoch + 1}: train loss {total / batches:.3f}")
 
     hfp = HyFlexPim(protect_fraction=0.05, epochs=2, batch_size=32, learning_rate=1e-3)
     compiled = hfp.compile(model, data.train, task_type="classification")
     baseline = hfp.ideal_reference(compiled, data.test)
     print(f"\nnoise-free INT8 baseline accuracy: {baseline:.3f} (chance = 0.10)")
 
-    sweep = hfp.protection_sweep(compiled, data.test, rates=(0.0, 0.05, 0.3, 1.0))
+    sweep = hfp.protection_sweep(
+        compiled, data.test, rates=(0.0, 0.05, 0.3, 1.0), workers=2
+    )
     for rate, score in sweep.items():
         print(f"  SLC {rate * 100:5.1f}%: accuracy {score:.3f}")
     print(

@@ -13,7 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Link", "OCI_LINK", "PCIE6_LINK", "transfer_cycles", "partial_sum_aggregation_cycles", "hidden_vector_handoff_cycles"]
+__all__ = [
+    "Link",
+    "OCI_LINK",
+    "PCIE6_LINK",
+    "transfer_cycles",
+    "partial_sum_aggregation_cycles",
+    "hidden_vector_handoff_cycles",
+]
 
 
 @dataclass(frozen=True)

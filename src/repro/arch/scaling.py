@@ -24,7 +24,6 @@ from repro.arch.interconnect import (
 from repro.arch.latency import HyFlexPimLatencyModel
 from repro.arch.workload import memory_footprint_bytes
 from repro.models.configs import ModelSpec
-from repro.svd.decompose import hard_threshold_rank
 
 __all__ = ["ScalingReport", "ScalabilityModel"]
 

@@ -13,7 +13,15 @@ from dataclasses import dataclass
 
 from repro.models.configs import ModelSpec
 
-__all__ = ["STAGES", "StageOps", "stage_op_counts", "total_ops", "linear_stage_ops", "attention_stage_ops", "memory_footprint_bytes"]
+__all__ = [
+    "STAGES",
+    "StageOps",
+    "stage_op_counts",
+    "total_ops",
+    "linear_stage_ops",
+    "attention_stage_ops",
+    "memory_footprint_bytes",
+]
 
 #: Stage names in the order Fig. 2 lists them.
 STAGES = (

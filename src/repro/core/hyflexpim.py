@@ -25,7 +25,7 @@ import numpy as np
 from repro.eval.metrics import metric_for_task
 from repro.nn.data import ArrayDataset
 from repro.nn.modules import Module
-from repro.pim.hybrid import HybridLinear, attach_hybrid_layers
+from repro.pim.hybrid import attach_hybrid_layers
 from repro.rram.cell import CellType, MLC2
 from repro.rram.noise import DEFAULT_NOISE, NoiseSpec
 from repro.svd.pipeline import GradientRedistributionPipeline, RedistributionPlan
@@ -33,6 +33,7 @@ from repro.svd.selection import (
     select_ranks_by_gradient,
     select_ranks_by_rank,
 )
+from repro.utils.parallel import map_with_pool
 
 __all__ = ["CompiledModel", "HyFlexPim"]
 
@@ -139,17 +140,24 @@ class HyFlexPim:
         rates: tuple[float, ...],
         metric: str = "accuracy",
         policy: str | None = None,
+        workers: int = 0,
     ) -> dict[float, float]:
-        """Metric vs SLC protection rate — the Fig. 12/13 experiment."""
-        results: dict[float, float] = {}
-        for rate in rates:
-            variant = compiled.with_protection(rate, policy=policy or self.policy)
-            deployed = self.deploy(variant)
-            results[rate] = self.evaluate(
-                deployed, test_data, compiled.task_type, metric=metric
-            )
-        return results
+        """Metric vs SLC protection rate — the Fig. 12/13 experiment.
 
+        ``workers > 1`` fans the rate points out over a process pool.  Each
+        point re-derives its mask, deployment noise and score from the spec
+        alone (the per-layer RNG is seeded by ``self.seed``, never by
+        execution order), so the parallel path is bitwise identical to the
+        serial one.
+        """
+        points = [
+            (self, compiled, test_data, rate, metric, policy or self.policy)
+            for rate in rates
+        ]
+        scores = map_with_pool(_protection_point, points, workers)
+        return dict(zip(rates, scores))
+
+    # ------------------------------------------------------------------
     def ideal_reference(
         self,
         compiled: CompiledModel,
@@ -159,3 +167,13 @@ class HyFlexPim:
         """Noise-free INT8 baseline (the 'Baseline' series of Fig. 12)."""
         deployed = self.deploy(compiled, noise=NoiseSpec.noiseless())
         return self.evaluate(deployed, test_data, compiled.task_type, metric=metric)
+
+
+def _protection_point(
+    point: tuple["HyFlexPim", CompiledModel, ArrayDataset, float, str, str],
+) -> float:
+    """Evaluate one protection rate (module-level so pools can pickle it)."""
+    hfp, compiled, test_data, rate, metric, policy = point
+    variant = compiled.with_protection(rate, policy=policy)
+    deployed = hfp.deploy(variant)
+    return hfp.evaluate(deployed, test_data, compiled.task_type, metric=metric)

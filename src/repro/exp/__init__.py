@@ -1,0 +1,46 @@
+"""Declarative experiment runner: specs, caching, parallel sweeps, CLI.
+
+The subsystem behind every figure reproduction and example study:
+
+>>> from repro.exp import ExperimentSpec, Runner
+>>> spec = ExperimentSpec(experiment="fig12", params={"workload": "sst2"})
+>>> result = Runner().run(spec)              # cached under .repro_cache/
+>>> series = Runner(workers=4).sweep(spec.sweep(workload=["sst2", "mrpc"]))
+
+Experiments are plain functions ``fn(params, seed) -> dict`` registered by
+name (see :mod:`repro.exp.registry`); the bundled figure studies live in
+:mod:`repro.exp.studies_model` and :mod:`repro.exp.studies_arch`.
+``python -m repro.exp`` exposes the same engine from the command line
+(``run`` / ``sweep`` / ``list`` / ``list-cache``).
+"""
+
+from repro.exp.builders import (
+    train_decoder_lm,
+    train_encoder,
+    train_vit,
+)
+from repro.exp.cache import CacheEntry, ResultCache, default_cache_root
+from repro.exp.registry import available_experiments, experiment, get_experiment
+from repro.exp.result import Result, Series
+from repro.exp.runner import Runner, RunnerStats
+from repro.exp.spec import ExperimentSpec, SweepSpec, canonical_json, derive_seed
+
+__all__ = [
+    "CacheEntry",
+    "ExperimentSpec",
+    "Result",
+    "ResultCache",
+    "Runner",
+    "RunnerStats",
+    "Series",
+    "SweepSpec",
+    "available_experiments",
+    "canonical_json",
+    "default_cache_root",
+    "derive_seed",
+    "experiment",
+    "get_experiment",
+    "train_decoder_lm",
+    "train_encoder",
+    "train_vit",
+]

@@ -1,0 +1,16 @@
+"""Entry point for ``python -m repro.exp``."""
+
+import sys
+
+from repro.exp.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head -1`) closed the pipe early;
+        # that's their prerogative, not an error worth a traceback.
+        sys.stderr.close()
+        code = 0
+    sys.exit(code)

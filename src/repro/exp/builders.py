@@ -1,0 +1,181 @@
+"""Shared model-training builders for benchmarks, examples and studies.
+
+Every figure benchmark and example study used to hand-roll the same three
+training loops (mini encoder, decoder LM, ViT).  They live here once, with
+an optional ``on_epoch`` hook so interactive examples can keep printing
+per-epoch losses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets import GlueTaskData, MarkovCorpus, VisionData
+from repro.nn import (
+    AdamW,
+    BatchIterator,
+    DecoderLM,
+    EncoderClassifier,
+    TransformerConfig,
+    VisionTransformer,
+    cross_entropy,
+    lm_cross_entropy,
+    mse_loss,
+)
+
+__all__ = ["train_decoder_lm", "train_encoder", "train_vit"]
+
+EpochHook = Callable[[int, float], None]
+
+
+def _run_epochs(
+    model,
+    data,
+    loss_fn,
+    *,
+    epochs: int,
+    batch_size: int,
+    learning_rate: float,
+    seed: int,
+    on_epoch: EpochHook | None,
+) -> None:
+    optimizer = AdamW(model.parameters(), lr=learning_rate)
+    rng = np.random.default_rng(seed)
+    for epoch in range(epochs):
+        total, batches = 0.0, 0
+        for inputs, targets in BatchIterator(data, batch_size, rng=rng):
+            loss = loss_fn(model, inputs, targets)
+            model.zero_grad()
+            loss.backward()
+            optimizer.step()
+            total += float(loss.data)
+            batches += 1
+        if on_epoch is not None:
+            on_epoch(epoch + 1, total / max(batches, 1))
+
+
+def train_encoder(
+    data: GlueTaskData,
+    *,
+    num_layers: int = 3,
+    d_model: int = 32,
+    num_heads: int = 4,
+    d_ff: int | None = None,
+    epochs: int = 5,
+    batch_size: int = 32,
+    learning_rate: float = 2e-3,
+    regression: bool = False,
+    seed: int = 0,
+    on_epoch: EpochHook | None = None,
+) -> EncoderClassifier:
+    """Train a down-scaled BERT-like encoder on a synthetic GLUE task."""
+    config = TransformerConfig(
+        vocab_size=data.spec.vocab_size,
+        d_model=d_model,
+        num_heads=num_heads,
+        num_layers=num_layers,
+        d_ff=d_ff if d_ff is not None else 2 * d_model,
+        max_seq_len=data.spec.seq_len,
+        num_classes=1 if regression else 2,
+        seed=seed,
+    )
+    model = EncoderClassifier(config)
+
+    def loss_fn(m, inputs, targets):
+        logits = m(inputs)
+        if regression:
+            return mse_loss(logits.reshape(-1), targets)
+        return cross_entropy(logits, targets.astype(int))
+
+    _run_epochs(
+        model,
+        data.train,
+        loss_fn,
+        epochs=epochs,
+        batch_size=batch_size,
+        learning_rate=learning_rate,
+        seed=seed,
+        on_epoch=on_epoch,
+    )
+    return model
+
+
+def train_decoder_lm(
+    corpus: MarkovCorpus,
+    *,
+    num_layers: int = 3,
+    d_model: int = 32,
+    num_heads: int = 4,
+    d_ff: int = 128,
+    epochs: int = 3,
+    batch_size: int = 16,
+    learning_rate: float = 2e-3,
+    seed: int = 0,
+    on_epoch: EpochHook | None = None,
+) -> DecoderLM:
+    """Train a GPT-like causal LM on the WikiText-2 stand-in corpus."""
+    config = TransformerConfig(
+        vocab_size=corpus.spec.vocab_size,
+        d_model=d_model,
+        num_heads=num_heads,
+        num_layers=num_layers,
+        d_ff=d_ff,
+        max_seq_len=corpus.spec.seq_len,
+        seed=seed,
+    )
+    model = DecoderLM(config)
+    _run_epochs(
+        model,
+        corpus.train,
+        lambda m, inputs, targets: lm_cross_entropy(m(inputs), targets),
+        epochs=epochs,
+        batch_size=batch_size,
+        learning_rate=learning_rate,
+        seed=seed,
+        on_epoch=on_epoch,
+    )
+    return model
+
+
+def train_vit(
+    data: VisionData,
+    *,
+    image_size: int = 16,
+    patch_size: int = 4,
+    num_layers: int = 2,
+    d_model: int = 32,
+    num_heads: int = 4,
+    d_ff: int = 128,
+    num_classes: int = 10,
+    epochs: int = 5,
+    batch_size: int = 32,
+    learning_rate: float = 2e-3,
+    seed: int = 0,
+    on_epoch: EpochHook | None = None,
+) -> VisionTransformer:
+    """Train a small vision transformer on the CIFAR-10-like image set."""
+    config = TransformerConfig(
+        d_model=d_model,
+        num_heads=num_heads,
+        num_layers=num_layers,
+        d_ff=d_ff,
+        image_size=image_size,
+        patch_size=patch_size,
+        num_classes=num_classes,
+        max_seq_len=(image_size // patch_size) ** 2 * 2,
+        seed=seed,
+    )
+    model = VisionTransformer(config)
+    _run_epochs(
+        model,
+        data.train,
+        lambda m, inputs, targets: cross_entropy(m(inputs), targets.astype(int)),
+        epochs=epochs,
+        batch_size=batch_size,
+        learning_rate=learning_rate,
+        seed=seed,
+        on_epoch=on_epoch,
+    )
+    return model

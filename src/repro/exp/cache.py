@@ -1,0 +1,132 @@
+"""Content-hash keyed on-disk result cache.
+
+Each completed experiment point is stored as one JSON file under
+``.repro_cache/`` (or ``$REPRO_CACHE_DIR``), keyed by the sha256 of the
+spec content plus a code-version fingerprint covering every ``repro``
+source file.  Editing any library or study code, or changing any spec
+field, therefore misses the cache; re-running an identical spec on
+identical code is a pure file read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.exp.spec import ExperimentSpec
+
+__all__ = ["CacheEntry", "ResultCache", "default_cache_root"]
+
+_CACHE_ENV = "REPRO_CACHE_DIR"
+_CACHE_DIRNAME = ".repro_cache"
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` under the cwd."""
+    override = os.environ.get(_CACHE_ENV)
+    return Path(override) if override else Path.cwd() / _CACHE_DIRNAME
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata for one cached result file (``list-cache`` rows)."""
+
+    key: str
+    experiment: str
+    params: dict[str, Any]
+    seed: int
+    created: float
+    elapsed_s: float
+    path: Path
+
+
+class ResultCache:
+    """JSON file store mapping content keys to experiment payloads."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            # A corrupt or half-written entry is a miss, not an error.
+            # ValueError covers both JSONDecodeError and the
+            # UnicodeDecodeError a mid-byte truncation raises.
+            return None
+
+    def put(self, key: str, payload: dict[str, Any]) -> Path:
+        """Atomically write ``payload`` (tmp file + rename) and return it."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        tmp.replace(path)
+        return path
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def payload(
+        spec: ExperimentSpec, code_version: str, value: Any, elapsed_s: float
+    ) -> dict[str, Any]:
+        """The canonical payload shape written for one result."""
+        return {
+            "spec": spec.to_dict(),
+            "code_version": code_version,
+            "created": time.time(),
+            "elapsed_s": elapsed_s,
+            "value": value,
+        }
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntry]:
+        """All readable cache entries, newest first."""
+        if not self.root.is_dir():
+            return []
+        found: list[CacheEntry] = []
+        for path in sorted(self.root.glob("*.json")):
+            payload = self.get(path.stem)
+            if payload is None:
+                continue
+            spec = payload.get("spec", {})
+            found.append(
+                CacheEntry(
+                    key=path.stem,
+                    experiment=spec.get("experiment", "?"),
+                    params=dict(spec.get("params", {})),
+                    seed=int(spec.get("seed", 0)),
+                    created=float(payload.get("created", 0.0)),
+                    elapsed_s=float(payload.get("elapsed_s", 0.0)),
+                    path=path,
+                )
+            )
+        found.sort(key=lambda e: e.created, reverse=True)
+        return found
+
+    def clear(self, experiments: Iterable[str] | None = None) -> int:
+        """Delete entries (optionally only for the named experiments)."""
+        wanted = set(experiments) if experiments is not None else None
+        removed = 0
+        for entry in self.entries():
+            if wanted is not None and entry.experiment not in wanted:
+                continue
+            try:
+                entry.path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,251 @@
+"""``python -m repro.exp`` — run registered experiments from the shell.
+
+Subcommands
+-----------
+``list``        registered experiments with default grids and smoke configs
+``run``         execute one experiment point (``-p key=value`` overrides)
+``sweep``       expand a grid (``-g key=v1,v2,...``) and fan it out
+``list-cache``  show the on-disk result cache
+``clear-cache`` delete cached results (optionally per experiment)
+
+``--smoke`` merges each experiment's registered reduced-size parameter set,
+which is what the CI benchmark-smoke job runs: one cheap point per figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Sequence
+
+from repro.exp.cache import ResultCache
+from repro.exp.registry import available_experiments, get_experiment
+from repro.exp.runner import Runner
+from repro.exp.spec import ExperimentSpec, SweepSpec, canonical_json
+
+__all__ = ["build_parser", "main"]
+
+
+def _parse_value(text: str) -> Any:
+    """Parse a CLI value: JSON if possible, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_params(pairs: Sequence[str] | None) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"bad -p/--param {pair!r}: expected key=value")
+        key, _, raw = pair.partition("=")
+        params[key.strip()] = _parse_value(raw)
+    return params
+
+
+def _parse_grid(pairs: Sequence[str] | None) -> dict[str, list[Any]]:
+    grid: dict[str, list[Any]] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"bad -g/--grid {pair!r}: expected key=v1,v2,...")
+        key, _, raw = pair.partition("=")
+        parsed = _parse_value(raw)
+        if isinstance(parsed, list):
+            grid[key.strip()] = parsed
+        else:
+            grid[key.strip()] = [_parse_value(item) for item in raw.split(",")]
+    return grid
+
+
+def _runner(args: argparse.Namespace) -> Runner:
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    return Runner(
+        workers=args.workers,
+        cache=cache,
+        use_cache=not args.no_cache,
+        force=args.force,
+    )
+
+
+def _base_params(args: argparse.Namespace) -> dict[str, Any]:
+    """Explicit -p params layered over the registered smoke set if --smoke."""
+    defn = get_experiment(args.experiment)
+    params: dict[str, Any] = {}
+    if args.smoke:
+        params.update(defn.smoke)
+    params.update(_parse_params(args.param))
+    return params
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("experiment", help="registered experiment name")
+    parser.add_argument(
+        "-p", "--param", action="append", metavar="KEY=VALUE",
+        help="parameter override (JSON-parsed; repeatable)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base sweep seed")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="merge the experiment's reduced-size smoke parameters",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for sweeps (0/1 = serial)",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    parser.add_argument(
+        "--force", action="store_true", help="recompute even when cached"
+    )
+    parser.add_argument("--cache-dir", help="cache directory (default .repro_cache)")
+    parser.add_argument("--json", dest="json_path", help="write results JSON here")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exp",
+        description="HyFlexPIM experiment runner (specs, caching, parallel sweeps)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run = sub.add_parser("run", help="execute one experiment point")
+    _add_common(run)
+
+    sweep = sub.add_parser("sweep", help="expand a parameter grid and run every point")
+    _add_common(sweep)
+    sweep.add_argument(
+        "-g", "--grid", action="append", metavar="KEY=V1,V2,...",
+        help="sweep values for one parameter (repeatable; "
+        "defaults to the experiment's registered grid)",
+    )
+    sweep.add_argument("--csv", dest="csv_path", help="write results CSV here")
+
+    list_cache = sub.add_parser("list-cache", help="show cached results")
+    list_cache.add_argument("--cache-dir", help="cache directory (default .repro_cache)")
+
+    clear = sub.add_parser("clear-cache", help="delete cached results")
+    clear.add_argument("--cache-dir", help="cache directory (default .repro_cache)")
+    clear.add_argument(
+        "experiments", nargs="*", help="only clear these experiments (default: all)"
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_list(out) -> int:
+    print(f"{'experiment':<12} {'grid':<38} description", file=out)
+    for name, defn in available_experiments().items():
+        grid = canonical_json(defn.grid) if defn.grid else "-"
+        summary = defn.description.splitlines()[0] if defn.description else ""
+        print(f"{name:<12} {grid:<38} {summary}", file=out)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    defn = get_experiment(args.experiment)
+    spec = ExperimentSpec(
+        experiment=args.experiment, params=_base_params(args), seed=args.seed
+    )
+    runner = _runner(args)
+    started = time.perf_counter()
+    result = runner.run(spec)
+    wall = time.perf_counter() - started
+    origin = "cache" if result.cached else "computed"
+    print(
+        f"[{result.experiment}] {origin} in {wall:.2f}s "
+        f"(point seed {spec.point_seed(exclude=defn.eval_params)}, key {result.key[:12]})",
+        file=out,
+    )
+    print(json.dumps(result.value, indent=2, sort_keys=True), file=out)
+    if args.json_path:
+        from repro.exp.result import Series
+
+        Series([result]).to_json(args.json_path)
+        print(f"wrote {args.json_path}", file=out)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace, out) -> int:
+    defn = get_experiment(args.experiment)
+    grid = _parse_grid(args.grid) or {k: list(v) for k, v in defn.grid.items()}
+    if not grid:
+        raise SystemExit(
+            f"experiment {args.experiment!r} has no default grid; pass -g KEY=V1,V2,..."
+        )
+    sweep = SweepSpec(
+        experiment=args.experiment, grid=grid, base=_base_params(args), seed=args.seed
+    )
+    runner = _runner(args)
+    started = time.perf_counter()
+    series = runner.sweep(sweep)
+    wall = time.perf_counter() - started
+    stats = runner.stats
+    print(
+        f"[{args.experiment}] {len(series)} points in {wall:.2f}s "
+        f"({stats.hits} cached, {stats.computed} computed, workers={args.workers})",
+        file=out,
+    )
+    grid_keys = sorted(grid)
+    for result in series:
+        coords = ", ".join(f"{k}={result.params.get(k)!r}" for k in grid_keys)
+        value = canonical_json(result.value)
+        if len(value) > 120:
+            value = value[:117] + "..."
+        print(f"  {coords}: {value}", file=out)
+    if args.json_path:
+        series.to_json(args.json_path)
+        print(f"wrote {args.json_path}", file=out)
+    if args.csv_path:
+        series.to_csv(args.csv_path)
+        print(f"wrote {args.csv_path}", file=out)
+    return 0
+
+
+def _cmd_list_cache(args: argparse.Namespace, out) -> int:
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    entries = cache.entries()
+    if not entries:
+        print(f"cache empty ({cache.root})", file=out)
+        return 0
+    print(f"{len(entries)} cached results under {cache.root}", file=out)
+    print(f"{'key':<14} {'experiment':<12} {'elapsed':>8}  params", file=out)
+    for entry in entries:
+        params = canonical_json(entry.params)
+        if len(params) > 70:
+            params = params[:67] + "..."
+        print(
+            f"{entry.key[:12]:<14} {entry.experiment:<12} {entry.elapsed_s:>7.2f}s  {params}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_clear_cache(args: argparse.Namespace, out) -> int:
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    removed = cache.clear(args.experiments or None)
+    print(f"removed {removed} cached results from {cache.root}", file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(out)
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, out)
+        if args.command == "list-cache":
+            return _cmd_list_cache(args, out)
+        if args.command == "clear-cache":
+            return _cmd_clear_cache(args, out)
+    except KeyError as error:
+        # Unknown experiment names surface as a clean CLI error, not a trace.
+        raise SystemExit(f"error: {error.args[0]}") from None
+    raise SystemExit(f"unknown command {args.command!r}")

@@ -1,0 +1,137 @@
+"""Registry of named experiment functions.
+
+An experiment is a plain function ``fn(params: dict, seed: int) -> dict``
+returning a JSON-serializable payload.  Registering it by name makes it
+addressable from :class:`~repro.exp.spec.ExperimentSpec` instances, the
+multiprocessing workers (which re-resolve by name in the child process)
+and the ``python -m repro.exp`` CLI.
+
+The decorator also carries per-experiment metadata used by the CLI:
+
+``grid``
+    default sweep grid (``sweep NAME`` with no ``-g`` flags uses it);
+``smoke``
+    parameter overrides for the reduced-size CI smoke configuration
+    (merged in by ``--smoke``);
+``eval_params``
+    parameters that only select what gets *evaluated* (not what gets
+    trained/built) — excluded from per-point seed derivation so changing
+    them never changes the underlying model.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = [
+    "ExperimentDef",
+    "available_experiments",
+    "code_version",
+    "experiment",
+    "get_experiment",
+]
+
+ExperimentFn = Callable[[dict[str, Any], int], dict[str, Any]]
+
+_REGISTRY: dict[str, "ExperimentDef"] = {}
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """A registered experiment plus its CLI-facing metadata."""
+
+    name: str
+    fn: ExperimentFn
+    description: str = ""
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    smoke: Mapping[str, Any] = field(default_factory=dict)
+    eval_params: tuple[str, ...] = ()
+
+    def __call__(self, params: dict[str, Any], seed: int) -> dict[str, Any]:
+        return self.fn(params, seed)
+
+
+def experiment(
+    name: str,
+    *,
+    grid: Mapping[str, Sequence[Any]] | None = None,
+    smoke: Mapping[str, Any] | None = None,
+    eval_params: Sequence[str] = (),
+) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Register ``fn`` under ``name``; re-registration overwrites (tests)."""
+
+    def register(fn: ExperimentFn) -> ExperimentFn:
+        _REGISTRY[name] = ExperimentDef(
+            name=name,
+            fn=fn,
+            description=inspect.getdoc(fn) or "",
+            grid=dict(grid or {}),
+            smoke=dict(smoke or {}),
+            eval_params=tuple(eval_params),
+        )
+        return fn
+
+    return register
+
+
+def _ensure_builtin_studies() -> None:
+    """Import the bundled figure studies so their registrations exist."""
+    # Imported lazily to avoid a hard cycle (studies import repro.exp.*),
+    # and re-run in worker processes that start with an empty registry.
+    import repro.exp.studies_arch  # noqa: F401
+    import repro.exp.studies_model  # noqa: F401
+
+
+def get_experiment(name: str) -> ExperimentDef:
+    """Resolve a registered experiment, loading the bundled studies first."""
+    _ensure_builtin_studies()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown experiment {name!r}; registered: {known}") from None
+
+
+def available_experiments() -> dict[str, ExperimentDef]:
+    """All registered experiments, name -> definition."""
+    _ensure_builtin_studies()
+    return dict(sorted(_REGISTRY.items()))
+
+
+@functools.lru_cache(maxsize=1)
+def _package_fingerprint() -> str:
+    """sha256 over every ``repro`` source file (computed once per process).
+
+    The studies delegate almost all behaviour to the library (builders,
+    ``repro.core``, ``repro.svd``, ...), so a per-study-module hash would
+    happily replay stale cached results after a library edit.  Hashing the
+    whole package is conservative — any source change invalidates every
+    cached result — which is the correct trade for an experiment log.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    found = False
+    try:
+        for path in sorted(root.rglob("*.py")):
+            found = True
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+    except OSError:
+        found = False
+    if not found:
+        # Source unavailable (e.g. frozen install): the release version is
+        # the best remaining proxy.
+        return f"repro-{repro.__version__}"
+    return digest.hexdigest()[:16]
+
+
+def code_version(defn: ExperimentDef) -> str:
+    """Cache-invalidating fingerprint of the code behind an experiment."""
+    return _package_fingerprint()

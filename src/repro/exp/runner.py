@@ -1,0 +1,143 @@
+"""Experiment execution: caching, deterministic seeding, process fan-out.
+
+The :class:`Runner` is the one place experiment functions actually get
+called.  ``run`` executes a single :class:`ExperimentSpec`; ``sweep``
+expands a :class:`SweepSpec` and fans the uncached points out across a
+``multiprocessing`` pool.  Determinism guarantees:
+
+* every point's seed derives from spec content only (never worker id or
+  execution order), so a 4-worker sweep is bitwise identical to a serial
+  one;
+* every computed value is normalised through a JSON round-trip before it
+  is returned or cached, so fresh and cached results compare equal.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exp.cache import ResultCache
+from repro.exp.registry import code_version, get_experiment
+from repro.exp.result import Result, Series
+from repro.exp.spec import ExperimentSpec, SweepSpec
+from repro.utils.parallel import map_with_pool
+
+__all__ = ["Runner", "RunnerStats"]
+
+
+def _json_roundtrip(value: Any) -> Any:
+    """Normalise a payload exactly as the cache will store it."""
+    return json.loads(json.dumps(value, sort_keys=True))
+
+
+def _execute_point(spec_dict: dict[str, Any]) -> tuple[Any, float]:
+    """Worker entry point: resolve by name and execute one spec.
+
+    Takes/returns plain picklable data so it works under both fork and
+    spawn start methods; the registry is re-populated in the child by
+    ``get_experiment`` importing the bundled studies.
+    """
+    spec = ExperimentSpec.from_dict(spec_dict)
+    defn = get_experiment(spec.experiment)
+    start = time.perf_counter()
+    value = defn.fn(dict(spec.params), spec.point_seed(exclude=defn.eval_params))
+    elapsed = time.perf_counter() - start
+    return _json_roundtrip(value), elapsed
+
+
+@dataclass
+class RunnerStats:
+    """Cache/computation counters for one Runner's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    computed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "computed": self.computed}
+
+
+@dataclass
+class Runner:
+    """Runs experiment specs with caching and optional process parallelism.
+
+    Parameters
+    ----------
+    workers:
+        Pool size for sweeps.  ``0`` or ``1`` executes serially in-process;
+        ``N > 1`` fans uncached points out over ``N`` processes.
+    cache:
+        Result cache; defaults to ``.repro_cache/`` under the cwd
+        (``$REPRO_CACHE_DIR`` overrides).  Pass ``use_cache=False`` to
+        bypass reads and writes entirely, or ``force=True`` to recompute
+        while still refreshing stored entries.
+    """
+
+    workers: int = 0
+    cache: ResultCache = field(default_factory=ResultCache)
+    use_cache: bool = True
+    force: bool = False
+    stats: RunnerStats = field(default_factory=RunnerStats)
+
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec) -> Result:
+        """Execute (or fetch) a single experiment point."""
+        return self.sweep([spec]).results[0]
+
+    # ------------------------------------------------------------------
+    def sweep(self, sweep_spec: SweepSpec | list[ExperimentSpec]) -> Series:
+        """Execute every point of a sweep, parallelising the uncached ones."""
+        points = (
+            sweep_spec.points() if isinstance(sweep_spec, SweepSpec) else list(sweep_spec)
+        )
+        if not points:
+            return Series()
+
+        results: dict[int, Result] = {}
+        pending: list[tuple[int, ExperimentSpec, str, str]] = []
+
+        for index, spec in enumerate(points):
+            defn = get_experiment(spec.experiment)
+            version = code_version(defn)
+            key = spec.content_key(version)
+            payload = (
+                self.cache.get(key) if self.use_cache and not self.force else None
+            )
+            if payload is not None and payload.get("code_version") == version:
+                self.stats.hits += 1
+                results[index] = Result(
+                    spec=spec,
+                    value=payload["value"],
+                    elapsed_s=float(payload.get("elapsed_s", 0.0)),
+                    cached=True,
+                    key=key,
+                )
+            else:
+                if self.use_cache and not self.force:
+                    self.stats.misses += 1
+                pending.append((index, spec, version, key))
+
+        if pending:
+            computed = self._execute_pending([spec for _, spec, _, _ in pending])
+            for (index, spec, version, key), (value, elapsed) in zip(pending, computed):
+                self.stats.computed += 1
+                if self.use_cache:
+                    self.cache.put(
+                        key, ResultCache.payload(spec, version, value, elapsed)
+                    )
+                results[index] = Result(
+                    spec=spec, value=value, elapsed_s=elapsed, cached=False, key=key
+                )
+
+        return Series(results=[results[i] for i in range(len(points))])
+
+    # ------------------------------------------------------------------
+    def _execute_pending(
+        self, specs: list[ExperimentSpec]
+    ) -> list[tuple[Any, float]]:
+        return map_with_pool(
+            _execute_point, [spec.to_dict() for spec in specs], self.workers
+        )

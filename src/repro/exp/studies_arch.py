@@ -1,0 +1,177 @@
+"""Analytic architecture studies (op counts, energy, speedup, scaling).
+
+JSON-friendly wrappers over :mod:`repro.arch` that regenerate the
+performance figures (Figs. 2, 14-17).  They are cheap (no training), so
+the value of running them through :class:`repro.exp.Runner` is uniform
+caching, export and CLI access rather than parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.arch import (
+    STAGES,
+    PerformanceComparison,
+    ScalabilityModel,
+    stage_op_counts,
+)
+from repro.exp.registry import experiment
+from repro.models import paper_model
+
+__all__ = [
+    "fig02_op_counts",
+    "fig14_linear_energy",
+    "fig15_end_to_end_energy",
+    "fig16_speedup",
+    "fig17_scalability",
+]
+
+
+@experiment(
+    "fig02",
+    smoke={"seq_lens": (128, 512)},
+)
+def fig02_op_counts(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Fig. 2: operation counts per Transformer stage vs sequence length."""
+    spec = paper_model(params.get("model", "bert-base"))
+    seq_lens = [int(n) for n in params.get("seq_lens", (128, 512, 1024, 2048, 3072))]
+    table = {n: stage_op_counts(spec, n) for n in seq_lens}
+    return {
+        "model": spec.name,
+        "seq_lens": seq_lens,
+        "stages": {
+            stage: [table[n].counts[stage] for n in seq_lens] for stage in STAGES
+        },
+        "linear_share": [
+            table[n].linear_total() / table[n].total() for n in seq_lens
+        ],
+    }
+
+
+@experiment(
+    "fig14",
+    smoke={"seq_lens": (128,), "slc_rates": (0.05,)},
+)
+def fig14_linear_energy(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Fig. 14: normalized linear-layer energy vs the baseline accelerators."""
+    from repro.arch import FIG14_SEQ_LENS, FIG14_SLC_RATES
+
+    comparison = PerformanceComparison()
+    spec = paper_model(params.get("model", "bert-large"))
+    seq_lens = [int(n) for n in params.get("seq_lens", FIG14_SEQ_LENS)]
+    slc_rates = [float(r) for r in params.get("slc_rates", FIG14_SLC_RATES)]
+    table = comparison.linear_energy_table(spec, tuple(seq_lens), tuple(slc_rates))
+    columns = list(next(iter(table.values())))
+    return {
+        "model": spec.name,
+        "seq_lens": seq_lens,
+        "columns": columns,
+        "rows": [[float(table[n][c]) for c in columns] for n in seq_lens],
+    }
+
+
+@experiment(
+    "fig15",
+    smoke={"seq_lens": (128,), "cases": (("bert-large", 0.05),)},
+)
+def fig15_end_to_end_energy(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Fig. 15: end-to-end energy improvement and HyFlexPIM's breakdown."""
+    comparison = PerformanceComparison()
+    seq_lens = [int(n) for n in params.get("seq_lens", (128, 512, 1024))]
+    cases = [
+        (str(name), float(rate))
+        for name, rate in params.get("cases", (("bert-large", 0.05), ("gpt2", 0.30)))
+    ]
+    improvements: dict[str, Any] = {}
+    breakdowns: dict[str, Any] = {}
+    baselines: list[str] = []
+    categories: list[str] = []
+    for name, rate in cases:
+        spec = paper_model(name)
+        per_n_improvement = {n: comparison.energy_improvement(spec, n, rate) for n in seq_lens}
+        per_n_shares = {
+            n: comparison.end_to_end_energy(spec, n, rate).shares() for n in seq_lens
+        }
+        baselines = list(next(iter(per_n_improvement.values())))
+        categories = sorted(next(iter(per_n_shares.values())))
+        improvements[spec.name] = {
+            "slc_rate": rate,
+            "rows": [[float(per_n_improvement[n][b]) for b in baselines] for n in seq_lens],
+        }
+        breakdowns[spec.name] = {
+            "rows": [[float(per_n_shares[n][c]) for c in categories] for n in seq_lens],
+        }
+    return {
+        "seq_lens": seq_lens,
+        "baselines": baselines,
+        "categories": categories,
+        "improvements": improvements,
+        "breakdowns": breakdowns,
+    }
+
+
+@experiment(
+    "fig16",
+    smoke={"seq_lens": (128,), "rates": (0.05, 0.5)},
+)
+def fig16_speedup(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Fig. 16: throughput speedup vs ASADI-dagger and SPRINT."""
+    comparison = PerformanceComparison()
+    spec = paper_model(params.get("model", "bert-large"))
+    mode = params.get("mode", "prefill")
+    seq_lens = [int(n) for n in params.get("seq_lens", (128, 512, 1024, 2048, 4096, 8192))]
+    rates = [float(r) for r in params.get("rates", (0.05, 0.1, 0.3, 0.4, 0.5))]
+    table = comparison.speedup_table(spec, tuple(seq_lens), tuple(rates), mode=mode)
+    return {
+        "model": spec.name,
+        "mode": mode,
+        "seq_lens": seq_lens,
+        "rates": rates,
+        "tables": {
+            baseline: [[float(per_n[n][r]) for r in rates] for n in seq_lens]
+            for baseline, per_n in table.items()
+        },
+    }
+
+
+@experiment(
+    "fig17",
+    smoke={"chips": (2, 4)},
+)
+def fig17_scalability(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Fig. 17: memory requirements and multi-PU / multi-chip scalability."""
+    model = ScalabilityModel()
+    seq_len = int(params.get("seq_len", 8192))
+    slc_rate = float(params.get("slc_rate", 0.2))
+    chips = [int(c) for c in params.get("chips", (2, 4, 8))]
+    gpt2 = paper_model(params.get("tensor_parallel_model", "gpt2"))
+    llama = paper_model(params.get("scaling_model", "llama3-1b"))
+
+    one = model.throughput(gpt2, seq_len, slc_rate, 1, pus_per_layer=1)
+    two = model.throughput(gpt2, seq_len, slc_rate, 1, pus_per_layer=2)
+    curve = model.scaling_curve(llama, seq_len, slc_rate, tuple(chips))
+    return {
+        "seq_len": seq_len,
+        "slc_rate": slc_rate,
+        "tensor_parallel_ratio": float(two.tokens_per_second / one.tokens_per_second),
+        "min_chips": int(model.min_chips(llama, slc_rate, seq_len)),
+        "memory_demand": {
+            spec.name: {
+                key: float(value)
+                for key, value in model.memory_demand(spec, seq_len).items()
+            }
+            for spec in (gpt2, llama)
+        },
+        "scaling_curve": [
+            {
+                "num_chips": int(report.num_chips),
+                "pus_per_layer": int(report.pus_per_layer),
+                "normalized_throughput": float(report.normalized_throughput),
+                "analog_demand_gb": float(report.analog_demand_gb),
+                "digital_demand_gb": float(report.digital_demand_gb),
+                "fits": bool(report.fits),
+            }
+            for report in curve
+        ],
+    }

@@ -1,0 +1,314 @@
+"""Model-level figure studies (training + hybrid-PIM deployment sweeps).
+
+Each function reproduces one accuracy-class figure of the paper as a
+registered experiment: JSON-serialisable params in, JSON-serialisable
+payload out.  The figure benchmarks and example scripts drive these
+through :class:`repro.exp.Runner`, which adds caching and process
+fan-out; the functions themselves stay pure and deterministic in
+``(params, seed)``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+import numpy as np
+
+from repro.core import HyFlexPim
+from repro.datasets import make_glue_task, make_vision_dataset, wikitext2_like
+from repro.datasets.synthetic_vision import VisionSpec
+from repro.exp.builders import train_decoder_lm, train_encoder, train_vit
+from repro.exp.registry import experiment
+from repro.eval import evaluate_classifier
+from repro.nn import EncoderClassifier
+from repro.pim import MagnitudeProtectedLinear
+from repro.svd import apply_svd, finetune, select_elements_by_magnitude, sigma_gradient_snapshot
+
+__all__ = ["fig11_redistribution", "fig12_protection", "fig13_policies", "selfcheck"]
+
+DEFAULT_RATES = (0.0, 0.05, 0.1, 0.3, 0.5, 1.0)
+
+# Evaluator names for the synthetic GLUE metrics (spec.metric -> evaluate()).
+_METRIC_MAP = {"matthews": "matthews", "pearson": "pearson"}
+
+
+def _eval_metric(spec_metric: str) -> str:
+    return _METRIC_MAP.get(spec_metric, "accuracy")
+
+
+@experiment(
+    "selfcheck",
+    grid={"n": (4, 8)},
+    smoke={"n": 4},
+)
+def selfcheck(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Milliseconds-fast deterministic series (runner/cache plumbing check)."""
+    n = int(params.get("n", 8))
+    scale = float(params.get("scale", 1.0))
+    rng = np.random.default_rng(seed)
+    values = (scale * rng.standard_normal(n)).round(8)
+    return {"n": n, "seed": seed, "values": values.tolist(), "total": float(values.sum())}
+
+
+# ----------------------------------------------------------------------
+@experiment(
+    "fig11",
+    smoke={"train_epochs": 1, "finetune_epochs": 1, "num_layers": 1},
+)
+def fig11_redistribution(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Fig. 11: gradient distributions before SVD, after SVD, after fine-tune."""
+    task = params.get("task", "sst2")
+    num_layers = int(params.get("num_layers", 2))
+    train_epochs = int(params.get("train_epochs", 5))
+    finetune_epochs = int(params.get("finetune_epochs", 2))
+
+    data = make_glue_task(task, seed=seed)
+    model = train_encoder(data, num_layers=num_layers, epochs=train_epochs, seed=seed)
+    state = model.state_dict()
+
+    # (a) dense weight-element gradients of one FC layer.
+    from repro.nn import cross_entropy
+
+    inputs, targets = data.train.inputs[:64], data.train.targets[:64].astype(int)
+    loss = cross_entropy(model(inputs), targets)
+    model.zero_grad()
+    loss.backward()
+    dense = np.abs(model.blocks[0].attn.w_q.weight.grad[0])
+
+    # (b) full-rank SVD, no fine-tuning.
+    model_b = EncoderClassifier(model.config)
+    model_b.load_state_dict(state)
+    apply_svd(model_b, rank=model.config.d_model)
+    snap_b = sigma_gradient_snapshot(model_b, data.train, "classification", max_batches=4)
+
+    # (c) hard threshold + fine-tune (gradient redistribution).
+    model_c = EncoderClassifier(model.config)
+    model_c.load_state_dict(state)
+    layers_c = apply_svd(model_c)
+    finetune(
+        model_c,
+        data.train,
+        "classification",
+        epochs=finetune_epochs,
+        batch_size=32,
+        learning_rate=2e-3,
+    )
+    return {
+        "task": task,
+        "dense_spread": float(dense.max() / max(dense.mean(), 1e-12)),
+        "grads_b": {name: np.asarray(g).tolist() for name, g in snap_b.per_layer.items()},
+        "grads_c": {
+            name: np.asarray(layer.mean_sigma_gradient()).tolist()
+            for name, layer in layers_c.items()
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+def _fig12_encoder(params: dict[str, Any], task: str, seed: int) -> dict[str, Any]:
+    rates = tuple(params.get("rates", DEFAULT_RATES))
+    data = make_glue_task(task, seed=seed)
+    regression = data.spec.kind == "regression"
+    model = train_encoder(
+        data,
+        num_layers=int(params.get("num_layers", 3)),
+        epochs=int(params.get("train_epochs", 5)),
+        regression=regression,
+        seed=seed,
+    )
+    hfp = HyFlexPim(
+        protect_fraction=0.1,
+        epochs=int(params.get("compile_epochs", 2)),
+        batch_size=32,
+        learning_rate=2e-3,
+        seed=seed,
+    )
+    task_type = "regression" if regression else "classification"
+    compiled = hfp.compile(model, data.train, task_type=task_type)
+    metric = _eval_metric(data.spec.metric)
+    baseline = hfp.ideal_reference(compiled, data.test, metric=metric)
+    sweep = hfp.protection_sweep(compiled, data.test, rates=rates, metric=metric)
+    return {
+        "metric": data.spec.metric,
+        "baseline": float(baseline),
+        "rates": list(rates),
+        "scores": [float(sweep[r]) for r in rates],
+    }
+
+
+def _fig12_lm(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    rates = tuple(params.get("rates", DEFAULT_RATES))
+    corpus = wikitext2_like(seed=seed)
+    model = train_decoder_lm(
+        corpus,
+        num_layers=int(params.get("num_layers", 3)),
+        epochs=int(params.get("train_epochs", 3)),
+        seed=seed,
+    )
+    hfp = HyFlexPim(
+        protect_fraction=0.2,
+        epochs=int(params.get("compile_epochs", 1)),
+        batch_size=16,
+        learning_rate=2e-3,
+        seed=seed,
+    )
+    compiled = hfp.compile(model, corpus.train, task_type="lm")
+    baseline = hfp.ideal_reference(compiled, corpus.test)
+    sweep = hfp.protection_sweep(compiled, corpus.test, rates=rates)
+    return {
+        "metric": "loss",
+        "baseline": float(baseline),
+        "rates": list(rates),
+        "scores": [float(sweep[r]) for r in rates],
+    }
+
+
+def _fig12_vit(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    rates = tuple(params.get("rates", DEFAULT_RATES))
+    data = make_vision_dataset(
+        VisionSpec(
+            image_size=16,
+            train_size=int(params.get("train_size", 300)),
+            test_size=int(params.get("test_size", 100)),
+            noise_std=0.2,
+        ),
+        seed=seed,
+    )
+    model = train_vit(
+        data,
+        num_layers=int(params.get("num_layers", 2)),
+        epochs=int(params.get("train_epochs", 5)),
+        seed=seed,
+    )
+    hfp = HyFlexPim(
+        protect_fraction=0.05,
+        epochs=int(params.get("compile_epochs", 2)),
+        batch_size=32,
+        learning_rate=1e-3,
+        seed=seed,
+    )
+    compiled = hfp.compile(model, data.train, task_type="classification")
+    baseline = hfp.ideal_reference(compiled, data.test)
+    sweep = hfp.protection_sweep(compiled, data.test, rates=rates)
+    return {
+        "metric": "accuracy",
+        "baseline": float(baseline),
+        "rates": list(rates),
+        "scores": [float(sweep[r]) for r in rates],
+    }
+
+
+@experiment(
+    "fig12",
+    grid={"workload": ("sst2", "cola", "mrpc", "lm", "vit")},
+    eval_params=("rates",),
+    smoke={
+        "workload": "sst2",
+        "rates": (0.0, 0.1, 1.0),
+        "train_epochs": 1,
+        "compile_epochs": 1,
+        "num_layers": 1,
+    },
+)
+def fig12_protection(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Fig. 12: metric vs SLC protection rate for one workload.
+
+    ``workload`` selects the model family: a GLUE task name trains the mini
+    encoder, ``"lm"`` the WikiText-2-like decoder, ``"vit"`` the CIFAR-10-like
+    vision transformer.  Tunable sizes (``num_layers``, ``train_epochs``,
+    ``compile_epochs``, ``rates``) exist so smoke/CI runs stay cheap.
+    """
+    workload = params.get("workload", "sst2")
+    if workload == "lm":
+        payload = _fig12_lm(params, seed)
+    elif workload == "vit":
+        payload = _fig12_vit(params, seed)
+    else:
+        payload = _fig12_encoder(params, workload, seed)
+    payload["workload"] = workload
+    return payload
+
+
+# ----------------------------------------------------------------------
+def _magnitude_sweep(
+    model: EncoderClassifier, state: dict, data, rates, metric: str
+) -> list[float]:
+    """Dense (no-SVD) deployment with elementwise |w| protection."""
+    scores = []
+    for rate in rates:
+        deployed = EncoderClassifier(model.config)
+        deployed.load_state_dict(state)
+        for name, linear in list(deployed.iter_static_linears()):
+            mask = select_elements_by_magnitude(linear.weight.data, rate, norm="l1")
+            replacement = MagnitudeProtectedLinear(
+                linear.weight.data,
+                linear.bias.data if linear.bias is not None else None,
+                mask,
+                seed=zlib.crc32(name.encode()) % 1000,
+            )
+            deployed.replace_static_linear(name, replacement)
+        scores.append(float(evaluate_classifier(deployed, data.test, metric=metric)))
+    return scores
+
+
+@experiment(
+    "fig13",
+    grid={"task": ("mrpc", "cola")},
+    eval_params=("rates", "policies"),
+    smoke={
+        "task": "mrpc",
+        "rates": (0.0, 0.1, 1.0),
+        "train_epochs": 1,
+        "compile_epochs": 1,
+        "num_layers": 1,
+    },
+)
+def fig13_policies(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Fig. 13: SLC selection policies (magnitude vs rank vs gradient).
+
+    ``policies`` limits the comparison (default all three); the magnitude
+    baseline protects dense weight elements without SVD, the rank and
+    gradient policies operate on the factored ranks.
+    """
+    task = params.get("task", "mrpc")
+    rates = tuple(params.get("rates", DEFAULT_RATES))
+    policies = tuple(params.get("policies", ("magnitude", "rank", "gradient")))
+
+    data = make_glue_task(task, seed=seed)
+    metric = _eval_metric(data.spec.metric)
+    model = train_encoder(
+        data,
+        num_layers=int(params.get("num_layers", 3)),
+        epochs=int(params.get("train_epochs", 6)),
+        seed=seed,
+    )
+    state = model.state_dict()
+
+    series: dict[str, list[float]] = {}
+    if "magnitude" in policies:
+        series["magnitude"] = _magnitude_sweep(model, state, data, rates, metric)
+
+    hfp = HyFlexPim(
+        protect_fraction=0.1,
+        epochs=int(params.get("compile_epochs", 2)),
+        batch_size=32,
+        learning_rate=2e-3,
+        seed=seed,
+    )
+    compiled = hfp.compile(model, data.train, task_type="classification")
+    baseline = hfp.ideal_reference(compiled, data.test, metric=metric)
+    for policy in ("rank", "gradient"):
+        if policy in policies:
+            sweep = hfp.protection_sweep(
+                compiled, data.test, rates=rates, metric=metric, policy=policy
+            )
+            series[policy] = [float(sweep[r]) for r in rates]
+
+    return {
+        "task": task,
+        "metric": metric,
+        "baseline": float(baseline),
+        "rates": list(rates),
+        "series": series,
+    }

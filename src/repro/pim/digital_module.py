@@ -14,7 +14,7 @@ cost model and capacity accounting:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

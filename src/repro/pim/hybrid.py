@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.nn.modules import Module
 from repro.nn.tensor import Tensor
-from repro.quant.quantizer import QuantParams, dequantize, quantize
+from repro.quant.quantizer import dequantize, quantize
 from repro.rram.cell import CellType, MLC2, SLC
 from repro.rram.crossbar import CrossbarConfig, GemvStats
 from repro.rram.mapping import HybridSplit, split_by_rank

@@ -19,7 +19,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["NorCounter", "nor", "nor_not", "nor_or", "nor_and", "nor_xor", "full_adder", "ripple_add", "multiply_int8", "NOR_OPS_PER_INT8_MULT", "COLUMNS_PER_NOR", "CYCLES_PER_ROW"]
+__all__ = [
+    "NorCounter",
+    "nor",
+    "nor_not",
+    "nor_or",
+    "nor_and",
+    "nor_xor",
+    "full_adder",
+    "ripple_add",
+    "multiply_int8",
+    "NOR_OPS_PER_INT8_MULT",
+    "COLUMNS_PER_NOR",
+    "CYCLES_PER_ROW",
+]
 
 #: Paper constants for the digital PIM cost model.
 NOR_OPS_PER_INT8_MULT = 64

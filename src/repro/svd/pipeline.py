@@ -13,7 +13,7 @@ performs entirely in software before deployment:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,5 @@
+"""Small shared utilities with no dependencies on other repro subpackages."""
+
+from repro.utils.parallel import map_with_pool
+
+__all__ = ["map_with_pool"]

@@ -74,7 +74,7 @@ class TestMetricForTask:
 
     def test_unknown_classification_metric(self):
         evaluator = metric_for_task("classification", "f1")
-        from repro.nn import ArrayDataset, Linear
+        from repro.nn import ArrayDataset
 
         with pytest.raises(ValueError):
             evaluator(_ArgmaxModel(), ArrayDataset(np.zeros((2, 2)), np.zeros(2)))

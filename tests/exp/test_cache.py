@@ -1,0 +1,112 @@
+"""Result cache: hit/miss behaviour and invalidation rules."""
+
+from __future__ import annotations
+
+import json
+
+from repro.exp import ExperimentSpec, ResultCache, Runner
+
+
+def make_runner(tmp_path, **kwargs) -> Runner:
+    return Runner(cache=ResultCache(tmp_path / "cache"), **kwargs)
+
+
+class TestCacheStore:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("deadbeef") is None
+        cache.put("deadbeef", {"value": 42})
+        assert cache.get("deadbeef") == {"value": 42}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("abc", {"value": 1})
+        (cache.root / "abc.json").write_text("{not json", encoding="utf-8")
+        assert cache.get("abc") is None
+
+    def test_entries_and_clear(self, tmp_path):
+        runner = make_runner(tmp_path)
+        runner.run(ExperimentSpec("selfcheck", params={"n": 2}))
+        runner.run(ExperimentSpec("selfcheck", params={"n": 3}))
+        entries = runner.cache.entries()
+        assert len(entries) == 2
+        assert all(e.experiment == "selfcheck" for e in entries)
+        assert runner.cache.clear(["selfcheck"]) == 2
+        assert runner.cache.entries() == []
+
+
+class TestRunnerCaching:
+    def test_second_run_hits_cache(self, tmp_path):
+        runner = make_runner(tmp_path)
+        spec = ExperimentSpec("selfcheck", params={"n": 4})
+        first = runner.run(spec)
+        second = runner.run(spec)
+        assert not first.cached
+        assert second.cached
+        assert second.value == first.value
+        assert runner.stats.hits == 1 and runner.stats.computed == 1
+
+    def test_spec_change_invalidates(self, tmp_path):
+        runner = make_runner(tmp_path)
+        runner.run(ExperimentSpec("selfcheck", params={"n": 4}))
+        other = runner.run(ExperimentSpec("selfcheck", params={"n": 5}))
+        assert not other.cached
+
+    def test_seed_change_invalidates(self, tmp_path):
+        runner = make_runner(tmp_path)
+        runner.run(ExperimentSpec("selfcheck", params={"n": 4}, seed=0))
+        other = runner.run(ExperimentSpec("selfcheck", params={"n": 4}, seed=1))
+        assert not other.cached
+        assert runner.stats.computed == 2
+
+    def test_code_version_change_invalidates(self, tmp_path, monkeypatch):
+        runner = make_runner(tmp_path)
+        spec = ExperimentSpec("selfcheck", params={"n": 4})
+        runner.run(spec)
+        monkeypatch.setattr("repro.exp.runner.code_version", lambda defn: "edited")
+        rerun = runner.run(spec)
+        assert not rerun.cached
+
+    def test_stale_payload_is_not_served(self, tmp_path):
+        # A payload whose recorded code_version mismatches the current one
+        # must be recomputed even if the file exists under the same key.
+        runner = make_runner(tmp_path)
+        spec = ExperimentSpec("selfcheck", params={"n": 4})
+        result = runner.run(spec)
+        path = runner.cache.root / f"{result.key}.json"
+        payload = json.loads(path.read_text())
+        payload["code_version"] = "stale"
+        payload["value"] = {"poisoned": True}
+        path.write_text(json.dumps(payload))
+        rerun = runner.run(spec)
+        assert not rerun.cached
+        assert rerun.value == result.value
+
+    def test_use_cache_false_bypasses(self, tmp_path):
+        runner = make_runner(tmp_path, use_cache=False)
+        spec = ExperimentSpec("selfcheck", params={"n": 4})
+        runner.run(spec)
+        assert runner.cache.entries() == []
+        assert not runner.run(spec).cached
+
+    def test_force_recomputes_but_refreshes(self, tmp_path):
+        runner = make_runner(tmp_path)
+        spec = ExperimentSpec("selfcheck", params={"n": 4})
+        first = runner.run(spec)
+        forced = make_runner(tmp_path, force=True)
+        rerun = forced.run(spec)
+        assert not rerun.cached
+        assert rerun.value == first.value
+        assert runner.run(spec).cached  # entry still present afterwards
+
+    def test_cached_value_equals_fresh_value_exactly(self, tmp_path):
+        # JSON round-trip normalisation: fresh and cached payloads compare
+        # equal bit-for-bit, so downstream assertions never depend on
+        # whether a result replayed from disk.
+        runner = make_runner(tmp_path)
+        spec = ExperimentSpec("selfcheck", params={"n": 16, "scale": 3.5})
+        fresh = runner.run(spec)
+        cached = runner.run(spec)
+        assert json.dumps(fresh.value, sort_keys=True) == json.dumps(
+            cached.value, sort_keys=True
+        )

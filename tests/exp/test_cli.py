@@ -1,0 +1,122 @@
+"""CLI: list/run/sweep/list-cache round trips (``python -m repro.exp``)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exp.cli import main
+
+
+def invoke(*argv: str) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestList:
+    def test_lists_registered_experiments(self):
+        text = invoke("list")
+        for name in ("fig02", "fig12", "fig13", "fig17", "selfcheck"):
+            assert name in text
+
+
+class TestRunRoundTrip:
+    def test_run_then_list_cache_then_cached_rerun(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+
+        first = invoke(
+            "run", "selfcheck", "-p", "n=5", "--cache-dir", cache_dir
+        )
+        assert "computed" in first
+
+        listing = invoke("list-cache", "--cache-dir", cache_dir)
+        assert "selfcheck" in listing
+        assert '{"n":5}' in listing
+
+        second = invoke(
+            "run", "selfcheck", "-p", "n=5", "--cache-dir", cache_dir
+        )
+        assert "cache" in second.splitlines()[0]
+        # identical payload on replay
+        assert first.splitlines()[1:] == second.splitlines()[1:]
+
+    def test_run_writes_json(self, tmp_path):
+        out_path = tmp_path / "result.json"
+        invoke(
+            "run", "selfcheck", "-p", "n=3",
+            "--cache-dir", str(tmp_path / "cache"), "--json", str(out_path),
+        )
+        (payload,) = json.loads(out_path.read_text())
+        assert payload["spec"]["experiment"] == "selfcheck"
+        assert len(payload["value"]["values"]) == 3
+
+    def test_smoke_merges_registered_params(self, tmp_path):
+        text = invoke(
+            "run", "selfcheck", "--smoke", "--cache-dir", str(tmp_path / "cache")
+        )
+        assert json.loads(text.split("\n", 1)[1])["n"] == 4
+
+    def test_param_overrides_smoke(self, tmp_path):
+        text = invoke(
+            "run", "selfcheck", "--smoke", "-p", "n=7",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert json.loads(text.split("\n", 1)[1])["n"] == 7
+
+
+class TestSweepRoundTrip:
+    def test_sweep_with_explicit_grid(self, tmp_path):
+        text = invoke(
+            "sweep", "selfcheck", "-g", "n=2,3,4", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert "3 points" in text
+        assert "3 computed" in text
+
+    def test_sweep_uses_registered_default_grid(self, tmp_path):
+        text = invoke("sweep", "selfcheck", "--cache-dir", str(tmp_path / "cache"))
+        assert "2 points" in text  # registered grid: n in (4, 8)
+
+    def test_sweep_cached_rerun_and_exports(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        csv_path = tmp_path / "sweep.csv"
+        json_path = tmp_path / "sweep.json"
+        invoke("sweep", "selfcheck", "-g", "n=2,3", "--cache-dir", cache_dir)
+        text = invoke(
+            "sweep", "selfcheck", "-g", "n=2,3", "--cache-dir", cache_dir,
+            "--csv", str(csv_path), "--json", str(json_path),
+        )
+        assert "2 cached, 0 computed" in text
+        rows = csv_path.read_text().strip().splitlines()
+        assert len(rows) == 3  # header + 2 points
+        assert rows[0].startswith("experiment,seed,n,")
+        payloads = json.loads(json_path.read_text())
+        assert [p["spec"]["params"]["n"] for p in payloads] == [2, 3]
+        assert all(p["cached"] for p in payloads)
+
+    def test_sweep_without_grid_errors_for_gridless_experiment(self, tmp_path):
+        with pytest.raises(SystemExit, match="no default grid"):
+            invoke("sweep", "fig17", "--cache-dir", str(tmp_path / "cache"))
+
+
+class TestClearCache:
+    def test_clear_cache_removes_entries(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        invoke("run", "selfcheck", "-p", "n=2", "--cache-dir", cache_dir)
+        text = invoke("clear-cache", "--cache-dir", cache_dir)
+        assert "removed 1" in text
+        assert "cache empty" in invoke("list-cache", "--cache-dir", cache_dir)
+
+
+class TestBadInput:
+    def test_bad_param_syntax(self, tmp_path):
+        with pytest.raises(SystemExit, match="key=value"):
+            invoke("run", "selfcheck", "-p", "n5", "--cache-dir", str(tmp_path))
+
+    def test_unknown_experiment(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            invoke("run", "nope", "--cache-dir", str(tmp_path))

@@ -9,7 +9,6 @@ from repro.nn import (
     DecoderLM,
     EncoderClassifier,
     Linear,
-    Tensor,
     TransformerConfig,
     VisionTransformer,
     cross_entropy,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.nn import Linear, Tensor
+from repro.nn import Tensor
 from repro.pim import HybridLinear, attach_hybrid_layers
 from repro.rram import NoiseSpec
 from repro.svd.pipeline import LayerPlan

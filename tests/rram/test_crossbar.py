@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.rram import (
-    CrossbarConfig,
     GemvStats,
     MLC2,
     MLC3,
