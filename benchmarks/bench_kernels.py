@@ -1,0 +1,57 @@
+"""Crossbar GEMV kernel benchmark: reference vs fast, tracked over PRs.
+
+Times the bit-serial analog GEMV hot path under both kernels of
+:mod:`repro.rram.kernels` across the batch / out-features / cell-type /
+noise grid, cross-checking bitwise equivalence at every point, and
+wall-clocks the Fig. 12 smoke sweep.  The payload is written to
+``BENCH_kernels.json`` at the repo root — the perf-trajectory file CI
+uploads as an artifact and gates on (fast must never be slower than
+reference on the large-GEMV point).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.exp import ExperimentSpec
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def test_bench_kernels(benchmark, print_header, fresh_runner):
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    params = {"reps": 1, "batches": (64,), "out_features": (256,)} if smoke else {}
+    spec = ExperimentSpec("bench_kernels", params=params)
+
+    result = benchmark.pedantic(
+        lambda: fresh_runner.run(spec), rounds=1, iterations=1
+    )
+    value = result.value
+
+    print_header("Kernel benchmark — reference vs fast bit-serial GEMV (µs/call)")
+    print(f"{'cell':>5} {'noise':>10} {'batch':>5} {'out':>4} {'in':>4} "
+          f"{'reference':>11} {'fast':>11} {'speedup':>8}")
+    for row in value["grid"]:
+        print(
+            f"{row['cell']:>5} {row['noise']:>10} {row['batch']:>5} "
+            f"{row['out_features']:>4} {row['in_features']:>4} "
+            f"{row['reference_us']:>10.0f}µ {row['fast_us']:>10.0f}µ "
+            f"{row['speedup']:>7.1f}x"
+        )
+    if "fig12_smoke_wall_s" in value:
+        print(f"\nfig12 --smoke end-to-end wall-clock: {value['fig12_smoke_wall_s']:.1f}s")
+
+    if smoke:
+        # Never clobber the committed full-grid trajectory with a smoke grid.
+        print("smoke mode: skipping BENCH_kernels.json update")
+    else:
+        BENCH_PATH.write_text(json.dumps(value, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {BENCH_PATH}")
+
+    # Perf-trajectory gates (ISSUE 2 acceptance criteria).
+    large_clean = value["large_noiseless"]
+    large_noisy = value["large_noisy"]
+    assert large_clean["speedup"] >= 5.0, large_clean
+    assert large_noisy["speedup"] >= 2.0, large_noisy

@@ -27,6 +27,7 @@ from repro.nn.data import ArrayDataset
 from repro.nn.modules import Module
 from repro.pim.hybrid import attach_hybrid_layers
 from repro.rram.cell import CellType, MLC2
+from repro.rram.kernels import KernelPolicy
 from repro.rram.noise import DEFAULT_NOISE, NoiseSpec
 from repro.svd.pipeline import GradientRedistributionPipeline, RedistributionPlan
 from repro.svd.selection import (
@@ -81,6 +82,12 @@ class HyFlexPim:
     noise: NoiseSpec = field(default_factory=lambda: DEFAULT_NOISE)
     mlc_cell: CellType = MLC2
     mode: str = "fast"  # "fast" (Eq. 5 weight noise) or "crossbar" (bit-serial)
+    # Crossbar-mode GEMV kernel selection; None uses the process-wide default
+    # (see repro.rram.kernels).
+    kernel_policy: KernelPolicy | None = None
+    # Tensor precision for the compile-time fine-tuning loop ("float32" /
+    # "float64"; None leaves the process-wide nn.tensor default untouched).
+    train_dtype: str | None = None
     seed: int = 0
 
     # ------------------------------------------------------------------
@@ -99,6 +106,7 @@ class HyFlexPim:
             batch_size=self.batch_size,
             learning_rate=self.learning_rate,
             rng=np.random.default_rng(self.seed),
+            compute_dtype=self.train_dtype,
         )
         plan = pipeline.run(model, train_data, task_type=task_type, rank=rank)
         return CompiledModel(model=model, plan=plan, task_type=task_type)
@@ -118,6 +126,7 @@ class HyFlexPim:
             mode=mode or self.mode,
             mlc_cell=self.mlc_cell,
             seed=self.seed,
+            policy=self.kernel_policy,
         )
         return deployed
 

@@ -9,7 +9,8 @@ The subsystem behind every figure reproduction and example study:
 
 Experiments are plain functions ``fn(params, seed) -> dict`` registered by
 name (see :mod:`repro.exp.registry`); the bundled figure studies live in
-:mod:`repro.exp.studies_model` and :mod:`repro.exp.studies_arch`.
+:mod:`repro.exp.studies_model` and :mod:`repro.exp.studies_arch`, and the
+kernel perf-trajectory benchmark in :mod:`repro.exp.studies_bench`.
 ``python -m repro.exp`` exposes the same engine from the command line
 (``run`` / ``sweep`` / ``list`` / ``list-cache``).
 """

@@ -21,6 +21,7 @@ from repro.nn import (
     TransformerConfig,
     VisionTransformer,
     cross_entropy,
+    default_dtype,
     lm_cross_entropy,
     mse_loss,
 )
@@ -40,20 +41,22 @@ def _run_epochs(
     learning_rate: float,
     seed: int,
     on_epoch: EpochHook | None,
+    compute_dtype: str | None = None,
 ) -> None:
     optimizer = AdamW(model.parameters(), lr=learning_rate)
     rng = np.random.default_rng(seed)
-    for epoch in range(epochs):
-        total, batches = 0.0, 0
-        for inputs, targets in BatchIterator(data, batch_size, rng=rng):
-            loss = loss_fn(model, inputs, targets)
-            model.zero_grad()
-            loss.backward()
-            optimizer.step()
-            total += float(loss.data)
-            batches += 1
-        if on_epoch is not None:
-            on_epoch(epoch + 1, total / max(batches, 1))
+    with default_dtype(compute_dtype):
+        for epoch in range(epochs):
+            total, batches = 0.0, 0
+            for inputs, targets in BatchIterator(data, batch_size, rng=rng):
+                loss = loss_fn(model, inputs, targets)
+                model.zero_grad()
+                loss.backward()
+                optimizer.step()
+                total += float(loss.data)
+                batches += 1
+            if on_epoch is not None:
+                on_epoch(epoch + 1, total / max(batches, 1))
 
 
 def train_encoder(
@@ -69,6 +72,7 @@ def train_encoder(
     regression: bool = False,
     seed: int = 0,
     on_epoch: EpochHook | None = None,
+    compute_dtype: str | None = None,
 ) -> EncoderClassifier:
     """Train a down-scaled BERT-like encoder on a synthetic GLUE task."""
     config = TransformerConfig(
@@ -98,6 +102,7 @@ def train_encoder(
         learning_rate=learning_rate,
         seed=seed,
         on_epoch=on_epoch,
+        compute_dtype=compute_dtype,
     )
     return model
 
@@ -114,6 +119,7 @@ def train_decoder_lm(
     learning_rate: float = 2e-3,
     seed: int = 0,
     on_epoch: EpochHook | None = None,
+    compute_dtype: str | None = None,
 ) -> DecoderLM:
     """Train a GPT-like causal LM on the WikiText-2 stand-in corpus."""
     config = TransformerConfig(
@@ -135,6 +141,7 @@ def train_decoder_lm(
         learning_rate=learning_rate,
         seed=seed,
         on_epoch=on_epoch,
+        compute_dtype=compute_dtype,
     )
     return model
 
@@ -154,6 +161,7 @@ def train_vit(
     learning_rate: float = 2e-3,
     seed: int = 0,
     on_epoch: EpochHook | None = None,
+    compute_dtype: str | None = None,
 ) -> VisionTransformer:
     """Train a small vision transformer on the CIFAR-10-like image set."""
     config = TransformerConfig(
@@ -177,5 +185,6 @@ def train_vit(
         learning_rate=learning_rate,
         seed=seed,
         on_epoch=on_epoch,
+        compute_dtype=compute_dtype,
     )
     return model

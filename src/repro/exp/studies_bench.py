@@ -1,0 +1,161 @@
+"""Kernel-benchmark study: the repo's tracked perf trajectory.
+
+``bench_kernels`` times the analog-crossbar GEMV hot path — the
+``reference`` einsum kernel against the optimized ``fast`` kernel of
+:mod:`repro.rram.kernels` — across a batch x out-features x cell-type x
+noise grid, and additionally wall-clocks the Fig. 12 smoke sweep end to
+end.  Its payload is what lands in ``BENCH_kernels.json`` (written by
+``benchmarks/bench_kernels.py`` and by the CI smoke job), seeding the
+perf-trajectory series future PRs are gated against: CI fails if the fast
+kernel ever becomes slower than the reference kernel on the large-GEMV
+point.
+
+Timings are wall-clock, so cached replays of this experiment report the
+machine state of the original run; benchmark jobs run it with caching
+disabled (``--no-cache`` / ``fresh_runner``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.exp.registry import experiment
+from repro.rram import (
+    CELL_TYPES,
+    DEFAULT_NOISE,
+    GemvStats,
+    KernelPolicy,
+    ProgrammedMatrix,
+)
+
+__all__ = ["bench_kernels"]
+
+#: The benchmark grid (overridable via params).  The "large" point is the
+#: one the CI perf gate checks; it matches the ISSUE-2 acceptance criteria
+#: (>=5x noiseless, >=2x noisy, fast vs reference).
+DEFAULT_BATCHES = (1, 8, 64)
+DEFAULT_OUT_FEATURES = (64, 256)
+DEFAULT_CELLS = ("SLC", "MLC2")
+LARGE_POINT = {"batch": 64, "out_features": 256, "in_features": 512, "cell": "SLC"}
+
+
+def _time_gemv(
+    matrix: ProgrammedMatrix,
+    x: np.ndarray,
+    policy: KernelPolicy,
+    reps: int,
+) -> float:
+    """Best-of-``reps`` seconds for one GEMV call under ``policy``."""
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        matrix.gemv(x, policy=policy)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_point(
+    batch: int,
+    out_features: int,
+    in_features: int,
+    cell_name: str,
+    noisy: bool,
+    reps: int,
+    rng: np.random.Generator,
+) -> dict[str, Any]:
+    cell = CELL_TYPES[cell_name]
+    sigma = DEFAULT_NOISE.sigma(cell) if noisy else 0.0
+    x = rng.integers(-128, 128, size=(batch, in_features))
+    w = rng.integers(-128, 128, size=(out_features, in_features))
+    matrix = ProgrammedMatrix(w, cell, noise_sigma=sigma, rng=rng)
+
+    # Correctness cross-check rides along with every timing: the two kernels
+    # must agree bitwise (outputs and stats) on every benchmarked point.
+    ref_stats, fast_stats = GemvStats(), GemvStats()
+    ref_out = matrix.gemv(x, stats=ref_stats, policy=KernelPolicy(mode="reference"))
+    fast_out = matrix.gemv(x, stats=fast_stats, policy=KernelPolicy(mode="fast"))
+    if not (np.array_equal(ref_out, fast_out) and ref_stats == fast_stats):
+        raise AssertionError(
+            f"fast/reference kernel mismatch at batch={batch}, out={out_features}, "
+            f"in={in_features}, cell={cell_name}, noisy={noisy}"
+        )
+
+    ref_s = _time_gemv(matrix, x, KernelPolicy(mode="reference"), reps)
+    fast_s = _time_gemv(matrix, x, KernelPolicy(mode="fast"), reps)
+    return {
+        "batch": batch,
+        "out_features": out_features,
+        "in_features": in_features,
+        "cell": cell_name,
+        "noise": "calibrated" if noisy else "none",
+        "reference_us": round(ref_s * 1e6, 2),
+        "fast_us": round(fast_s * 1e6, 2),
+        "speedup": round(ref_s / fast_s, 2),
+    }
+
+
+def _fig12_smoke_wall_s(seed: int) -> float:
+    """End-to-end wall-clock of the Fig. 12 smoke point (uncached)."""
+    from repro.exp.registry import get_experiment
+
+    defn = get_experiment("fig12")
+    start = time.perf_counter()
+    defn.fn(dict(defn.smoke), seed)
+    return time.perf_counter() - start
+
+
+@experiment(
+    "bench_kernels",
+    smoke={"batches": (64,), "out_features": (256,), "reps": 1},
+)
+def bench_kernels(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """GEMV kernel timings (reference vs fast) + Fig. 12 smoke wall-clock."""
+    batches = tuple(params.get("batches", DEFAULT_BATCHES))
+    out_features = tuple(params.get("out_features", DEFAULT_OUT_FEATURES))
+    in_features = int(params.get("in_features", LARGE_POINT["in_features"]))
+    cells = tuple(params.get("cells", DEFAULT_CELLS))
+    reps = int(params.get("reps", 3))
+    include_fig12 = bool(params.get("include_fig12", True))
+
+    rng = np.random.default_rng(seed)
+    grid = [
+        _bench_point(batch, out_f, in_features, cell_name, noisy, reps, rng)
+        for cell_name in cells
+        for noisy in (False, True)
+        for out_f in out_features
+        for batch in batches
+    ]
+
+    # The gated large points: always measured, even if the requested grid
+    # does not contain them (e.g. a shrunken custom grid).
+    def _large(noisy: bool) -> dict[str, Any]:
+        for row in grid:
+            if (
+                row["batch"] == LARGE_POINT["batch"]
+                and row["out_features"] == LARGE_POINT["out_features"]
+                and row["in_features"] == LARGE_POINT["in_features"]
+                and row["cell"] == LARGE_POINT["cell"]
+                and row["noise"] == ("calibrated" if noisy else "none")
+            ):
+                return row
+        return _bench_point(
+            LARGE_POINT["batch"],
+            LARGE_POINT["out_features"],
+            LARGE_POINT["in_features"],
+            LARGE_POINT["cell"],
+            noisy,
+            reps,
+            rng,
+        )
+
+    payload: dict[str, Any] = {
+        "grid": grid,
+        "large_noiseless": _large(False),
+        "large_noisy": _large(True),
+    }
+    if include_fig12:
+        payload["fig12_smoke_wall_s"] = round(_fig12_smoke_wall_s(seed), 3)
+    return payload

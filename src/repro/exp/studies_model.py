@@ -63,8 +63,11 @@ def fig11_redistribution(params: dict[str, Any], seed: int) -> dict[str, Any]:
     train_epochs = int(params.get("train_epochs", 5))
     finetune_epochs = int(params.get("finetune_epochs", 2))
 
+    dtype = params.get("train_dtype", "float32")
     data = make_glue_task(task, seed=seed)
-    model = train_encoder(data, num_layers=num_layers, epochs=train_epochs, seed=seed)
+    model = train_encoder(
+        data, num_layers=num_layers, epochs=train_epochs, seed=seed, compute_dtype=dtype
+    )
     state = model.state_dict()
 
     # (a) dense weight-element gradients of one FC layer.
@@ -93,6 +96,7 @@ def fig11_redistribution(params: dict[str, Any], seed: int) -> dict[str, Any]:
         epochs=finetune_epochs,
         batch_size=32,
         learning_rate=2e-3,
+        compute_dtype=dtype,
     )
     return {
         "task": task,
@@ -108,6 +112,7 @@ def fig11_redistribution(params: dict[str, Any], seed: int) -> dict[str, Any]:
 # ----------------------------------------------------------------------
 def _fig12_encoder(params: dict[str, Any], task: str, seed: int) -> dict[str, Any]:
     rates = tuple(params.get("rates", DEFAULT_RATES))
+    dtype = params.get("train_dtype", "float32")
     data = make_glue_task(task, seed=seed)
     regression = data.spec.kind == "regression"
     model = train_encoder(
@@ -116,12 +121,14 @@ def _fig12_encoder(params: dict[str, Any], task: str, seed: int) -> dict[str, An
         epochs=int(params.get("train_epochs", 5)),
         regression=regression,
         seed=seed,
+        compute_dtype=dtype,
     )
     hfp = HyFlexPim(
         protect_fraction=0.1,
         epochs=int(params.get("compile_epochs", 2)),
         batch_size=32,
         learning_rate=2e-3,
+        train_dtype=dtype,
         seed=seed,
     )
     task_type = "regression" if regression else "classification"
@@ -139,18 +146,21 @@ def _fig12_encoder(params: dict[str, Any], task: str, seed: int) -> dict[str, An
 
 def _fig12_lm(params: dict[str, Any], seed: int) -> dict[str, Any]:
     rates = tuple(params.get("rates", DEFAULT_RATES))
+    dtype = params.get("train_dtype", "float32")
     corpus = wikitext2_like(seed=seed)
     model = train_decoder_lm(
         corpus,
         num_layers=int(params.get("num_layers", 3)),
         epochs=int(params.get("train_epochs", 3)),
         seed=seed,
+        compute_dtype=dtype,
     )
     hfp = HyFlexPim(
         protect_fraction=0.2,
         epochs=int(params.get("compile_epochs", 1)),
         batch_size=16,
         learning_rate=2e-3,
+        train_dtype=dtype,
         seed=seed,
     )
     compiled = hfp.compile(model, corpus.train, task_type="lm")
@@ -175,17 +185,20 @@ def _fig12_vit(params: dict[str, Any], seed: int) -> dict[str, Any]:
         ),
         seed=seed,
     )
+    dtype = params.get("train_dtype", "float32")
     model = train_vit(
         data,
         num_layers=int(params.get("num_layers", 2)),
         epochs=int(params.get("train_epochs", 5)),
         seed=seed,
+        compute_dtype=dtype,
     )
     hfp = HyFlexPim(
         protect_fraction=0.05,
         epochs=int(params.get("compile_epochs", 2)),
         batch_size=32,
         learning_rate=1e-3,
+        train_dtype=dtype,
         seed=seed,
     )
     compiled = hfp.compile(model, data.train, task_type="classification")
@@ -217,7 +230,9 @@ def fig12_protection(params: dict[str, Any], seed: int) -> dict[str, Any]:
     ``workload`` selects the model family: a GLUE task name trains the mini
     encoder, ``"lm"`` the WikiText-2-like decoder, ``"vit"`` the CIFAR-10-like
     vision transformer.  Tunable sizes (``num_layers``, ``train_epochs``,
-    ``compile_epochs``, ``rates``) exist so smoke/CI runs stay cheap.
+    ``compile_epochs``, ``rates``) exist so smoke/CI runs stay cheap; all
+    training runs under the float32 tensor-dtype policy by default
+    (``train_dtype="float64"`` restores the historical precision).
     """
     workload = params.get("workload", "sst2")
     if workload == "lm":
@@ -275,6 +290,7 @@ def fig13_policies(params: dict[str, Any], seed: int) -> dict[str, Any]:
     rates = tuple(params.get("rates", DEFAULT_RATES))
     policies = tuple(params.get("policies", ("magnitude", "rank", "gradient")))
 
+    dtype = params.get("train_dtype", "float32")
     data = make_glue_task(task, seed=seed)
     metric = _eval_metric(data.spec.metric)
     model = train_encoder(
@@ -282,6 +298,7 @@ def fig13_policies(params: dict[str, Any], seed: int) -> dict[str, Any]:
         num_layers=int(params.get("num_layers", 3)),
         epochs=int(params.get("train_epochs", 6)),
         seed=seed,
+        compute_dtype=dtype,
     )
     state = model.state_dict()
 
@@ -294,6 +311,7 @@ def fig13_policies(params: dict[str, Any], seed: int) -> dict[str, Any]:
         epochs=int(params.get("compile_epochs", 2)),
         batch_size=32,
         learning_rate=2e-3,
+        train_dtype=dtype,
         seed=seed,
     )
     compiled = hfp.compile(model, data.train, task_type="classification")

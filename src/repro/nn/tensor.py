@@ -29,12 +29,65 @@ __all__ = [
     "as_tensor",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
     "concatenate",
     "stack",
     "where",
 ]
 
-_DEFAULT_DTYPE = np.float64
+#: dtypes the autograd engine supports as its default compute precision.
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_default_dtype = np.dtype(np.float64)
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors (and accumulated gradients) are created with."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the process-wide tensor dtype; returns the previous one.
+
+    float64 (the historical default) is the reproduction's accuracy ground
+    truth; float32 halves training-memory traffic and is what the perf-tuned
+    fine-tuning loops use (``svd.finetune(compute_dtype="float32")``) — the
+    convergence tolerance between the two is unit-tested.
+    """
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"default dtype must be float32 or float64, got {resolved.name}"
+        )
+    global _default_dtype
+    previous = _default_dtype
+    _default_dtype = resolved
+    return previous
+
+
+class default_dtype:
+    """Context manager scoping a default-dtype override.
+
+    ``default_dtype(None)`` is a no-op scope, so callers with an optional
+    dtype parameter can always write ``with default_dtype(maybe_dtype):``.
+
+    >>> with default_dtype(np.float32):
+    ...     Tensor([1.0]).dtype
+    dtype('float32')
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = dtype
+
+    def __enter__(self) -> np.dtype:
+        self._previous = None if self._dtype is None else set_default_dtype(self._dtype)
+        return get_default_dtype()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._previous is not None:
+            set_default_dtype(self._previous)
 
 
 class _GradMode:
@@ -107,7 +160,7 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
+        self.data = np.asarray(data, dtype=_default_dtype)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._parents = _parents if self.requires_grad or _parents else ()
@@ -175,9 +228,11 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=_DEFAULT_DTYPE, copy=True)
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
-            self.grad = self.grad + grad
+            # Accumulate in the tensor's own dtype: without the cast, a
+            # float64 contribution would silently promote a float32 grad.
+            self.grad = self.grad + np.asarray(grad, dtype=self.grad.dtype)
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Run reverse-mode AD from this tensor.
@@ -194,7 +249,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("backward() without an explicit gradient requires a scalar")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"

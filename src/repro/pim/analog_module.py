@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.rram.cell import CellType
 from repro.rram.crossbar import CrossbarConfig, GemvStats
+from repro.rram.kernels import KernelPolicy
 from repro.rram.mapping import MappedMatrix
 from repro.rram.noise import DEFAULT_NOISE, NoiseSpec
 
@@ -53,10 +54,12 @@ class AnalogPimModule:
         config: AnalogModuleConfig | None = None,
         noise: NoiseSpec | None = None,
         seed: int = 0,
+        policy: KernelPolicy | None = None,
     ) -> None:
         self.config = config or AnalogModuleConfig()
         self.noise = noise or DEFAULT_NOISE
         self.seed = seed
+        self.policy = policy
         self._deployed: dict[str, MappedMatrix] = {}
         self._arrays_used = 0
 
@@ -85,6 +88,7 @@ class AnalogPimModule:
             noise=self.noise,
             config=self.config.array,
             seed=self.seed + (zlib.crc32(name.encode()) % (2**16)),
+            policy=self.policy,
         )
         if mapped.arrays_used > self.arrays_free:
             raise MemoryError(
@@ -102,9 +106,11 @@ class AnalogPimModule:
         return sorted(self._deployed)
 
     # -- execution --------------------------------------------------------------
-    def gemv(self, name: str, input_codes: np.ndarray) -> np.ndarray:
+    def gemv(
+        self, name: str, input_codes: np.ndarray, policy: KernelPolicy | None = None
+    ) -> np.ndarray:
         """Run one deployed matrix's analog GEMV."""
-        return self._deployed[name].gemv(input_codes)
+        return self._deployed[name].gemv(input_codes, policy=policy)
 
     def merged_stats(self) -> GemvStats:
         total = GemvStats()

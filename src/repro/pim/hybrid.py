@@ -29,6 +29,7 @@ from repro.nn.tensor import Tensor
 from repro.quant.quantizer import dequantize, quantize
 from repro.rram.cell import CellType, MLC2, SLC
 from repro.rram.crossbar import CrossbarConfig, GemvStats
+from repro.rram.kernels import KernelPolicy
 from repro.rram.mapping import HybridSplit, split_by_rank
 from repro.rram.noise import DEFAULT_NOISE, NoiseSpec, apply_multiplicative_noise
 from repro.svd.pipeline import LayerPlan
@@ -99,6 +100,7 @@ class HybridLinear(Module):
         mlc_cell: CellType = MLC2,
         config: CrossbarConfig | None = None,
         seed: int = 0,
+        policy: KernelPolicy | None = None,
     ) -> None:
         super().__init__()
         if mode not in _MODES:
@@ -109,6 +111,7 @@ class HybridLinear(Module):
         self.mlc_cell = mlc_cell
         self.config = config or CrossbarConfig()
         self.seed = seed
+        self.policy = policy
         self.in_features = plan.a_matrix.shape[1]
         self.out_features = plan.b_matrix.shape[0]
         self.rank = plan.rank
@@ -127,6 +130,7 @@ class HybridLinear(Module):
                 config=self.config,
                 mlc_cell=mlc_cell,
                 seed=seed,
+                policy=policy,
             )
             self._noisy_a = None
             self._noisy_b = None
@@ -206,6 +210,7 @@ class HybridLinear(Module):
             config=self.config,
             mlc_cell=self.mlc_cell,
             seed=self.seed,
+            policy=self.policy,
         )
         return split.arrays_used
 
@@ -229,6 +234,7 @@ def attach_hybrid_layers(
     mode: str = "fast",
     mlc_cell: CellType = MLC2,
     seed: int = 0,
+    policy: KernelPolicy | None = None,
 ) -> dict[str, HybridLinear]:
     """Swap every planned layer of ``model`` for its PIM deployment form.
 
@@ -238,7 +244,12 @@ def attach_hybrid_layers(
     attached: dict[str, HybridLinear] = {}
     for name, plan in plans.items():
         layer = HybridLinear(
-            plan, noise=noise, mode=mode, mlc_cell=mlc_cell, seed=seed + len(attached)
+            plan,
+            noise=noise,
+            mode=mode,
+            mlc_cell=mlc_cell,
+            seed=seed + len(attached),
+            policy=policy,
         )
         model.replace_static_linear(name, layer)
         attached[name] = layer

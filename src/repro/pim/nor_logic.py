@@ -11,6 +11,15 @@ modules use for Q·Kᵀ and S·V out of *counted* NOR operations, so both the
 functional result (exact integer arithmetic) and the paper's cost model
 (64 NOR ops per 8-bit multiply-accumulate step, 3 columns per NOR) are
 grounded in an executable artifact.
+
+Vectorization note: the one-bit gates (:func:`nor` through
+:func:`full_adder`) evaluate real NOR netlists on whole arrays.  The wide
+arithmetic (:func:`ripple_add`, :func:`multiply_int8`) used to iterate those
+gates bit-by-bit in Python; it now computes the identical binary results
+with bit-shift arrays in a constant number of numpy operations, while the
+:class:`NorCounter` is charged exactly the gate count the sequential netlist
+would have evaluated — so both the outputs and the cost model are unchanged,
+only the Python-level per-bit loops are gone.
 """
 
 from __future__ import annotations
@@ -18,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.quant.quantizer import int_to_bit_planes
 
 __all__ = [
     "NorCounter",
@@ -38,6 +49,11 @@ __all__ = [
 NOR_OPS_PER_INT8_MULT = 64
 COLUMNS_PER_NOR = 3
 CYCLES_PER_ROW = 5  # four write cycles + one read cycle
+
+#: Gate costs of the composite netlists (used to charge :class:`NorCounter`
+#: when the sequential bit loops are evaluated as closed-form arithmetic).
+_GATES_PER_AND = 3
+_GATES_PER_FULL_ADDER = 18  # two XORs (5 each), two ANDs (3 each), one OR (2)
 
 
 @dataclass
@@ -92,19 +108,26 @@ def full_adder(
 def ripple_add(
     a_bits: np.ndarray, b_bits: np.ndarray, counter: NorCounter | None = None
 ) -> np.ndarray:
-    """Add two LSB-first bit vectors of equal width; returns width+1 bits."""
+    """Add two LSB-first bit vectors of equal width; returns width+1 bits.
+
+    The result is the carry-chain of ``width`` :func:`full_adder` netlists,
+    evaluated in closed form: the operands are recombined with bit-shift
+    weights, added as integers (binary addition *is* the ripple carry), and
+    re-split into planes.  The counter is charged the same
+    ``width x 18`` gates the sequential chain evaluates, and the output is
+    bitwise identical to it.
+    """
     a_bits = np.asarray(a_bits)
     b_bits = np.asarray(b_bits)
     if a_bits.shape != b_bits.shape:
         raise ValueError("operand widths must match")
     width = a_bits.shape[-1]
-    carry = np.zeros(a_bits.shape[:-1], dtype=a_bits.dtype)
-    out = np.zeros(a_bits.shape[:-1] + (width + 1,), dtype=a_bits.dtype)
-    for i in range(width):
-        s, carry = full_adder(a_bits[..., i], b_bits[..., i], carry, counter)
-        out[..., i] = s
-    out[..., width] = carry
-    return out
+    if counter is not None:
+        counter.count += width * _GATES_PER_FULL_ADDER
+    weights = (1 << np.arange(width)).astype(np.int64)
+    totals = (a_bits * weights).sum(axis=-1) + (b_bits * weights).sum(axis=-1)
+    planes = int_to_bit_planes(totals, width + 1)  # (width+1,) + batch shape
+    return np.moveaxis(planes, 0, -1).astype(a_bits.dtype)
 
 
 def multiply_int8(
@@ -120,19 +143,19 @@ def multiply_int8(
     b = np.asarray(b, dtype=np.int64)
     if (a < 0).any() or (a > 255).any() or (b < 0).any() or (b > 255).any():
         raise ValueError("multiply_int8 expects unsigned 8-bit operands")
-    shifts = np.arange(8)
-    a_bits = ((a[..., None] >> shifts) & 1).astype(np.int8)
-    b_bits = ((b[..., None] >> shifts) & 1).astype(np.int8)
+    a_bits = np.moveaxis(int_to_bit_planes(a, 8), 0, -1)
+    b_bits = np.moveaxis(int_to_bit_planes(b, 8), 0, -1)
 
-    acc = np.zeros(a.shape + (16,), dtype=np.int8)
-    for j in range(8):
-        # Partial product: a_bits AND b_j, placed at offset j.
-        partial = np.zeros_like(acc)
-        b_j = b_bits[..., j][..., None]
-        partial[..., j : j + 8] = nor_and(
-            a_bits, np.broadcast_to(b_j, a_bits.shape).copy(), counter
-        )
-        summed = ripple_add(acc, partial, counter)
-        acc = summed[..., :16]
-    weights = (1 << np.arange(16)).astype(np.int64)
-    return (acc.astype(np.int64) * weights).sum(axis=-1)
+    # All 64 partial-product bits a_k AND b_j from one vectorized evaluation
+    # of the AND netlist (previously one call per b bit-plane j).
+    partials = nor_and(a_bits[..., None, :], b_bits[..., :, None], counter)
+    if counter is not None:
+        # Charge the gates the sequential shift-and-add netlist evaluates:
+        # the seven AND evaluations folded into the single call above, plus
+        # the eight 16-bit ripple additions of the partial products.
+        counter.count += 7 * _GATES_PER_AND
+        counter.count += 8 * 16 * _GATES_PER_FULL_ADDER
+    # Shift-and-add in closed form: partial bit (j, k) carries weight 2^(j+k).
+    # einsum reduces without materializing the broadcast int64 product.
+    weights = (1 << (np.arange(8)[:, None] + np.arange(8)[None, :])).astype(np.int64)
+    return np.einsum("...jk,jk->...", partials, weights)

@@ -5,6 +5,7 @@ from repro.quant.quantizer import (
     bits_to_int,
     dequantize,
     fake_quantize,
+    int_to_bit_planes,
     int_to_bits,
     offset_decode,
     offset_encode,
@@ -16,6 +17,7 @@ __all__ = [
     "bits_to_int",
     "dequantize",
     "fake_quantize",
+    "int_to_bit_planes",
     "int_to_bits",
     "offset_decode",
     "offset_encode",

@@ -28,6 +28,7 @@ __all__ = [
     "offset_encode",
     "offset_decode",
     "int_to_bits",
+    "int_to_bit_planes",
     "bits_to_int",
 ]
 
@@ -129,6 +130,25 @@ def int_to_bits(values: np.ndarray, num_bits: int) -> np.ndarray:
         raise ValueError(f"value {values.max()} does not fit in {num_bits} bits")
     shifts = np.arange(num_bits)
     return (values[..., None] >> shifts) & 1
+
+
+def int_to_bit_planes(values: np.ndarray, num_bits: int) -> np.ndarray:
+    """Decompose non-negative ints into *plane-major* packed uint8 bit planes.
+
+    Returns an array of shape ``(num_bits,) + values.shape`` with entries in
+    {0, 1}, LSB plane first.  Plane ``k`` is C-contiguous, which is what the
+    bit-serial crossbar kernels need to stream one input bit-plane per cycle,
+    and uint8 storage is 8x smaller than the int64 trailing-axis layout of
+    :func:`int_to_bits`.  ``np.moveaxis(planes, 0, -1)`` recovers the
+    trailing-axis view bit-for-bit.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.min(initial=0) < 0:
+        raise ValueError("int_to_bit_planes requires non-negative values")
+    if values.max(initial=0) >= 2**num_bits:
+        raise ValueError(f"value {values.max()} does not fit in {num_bits} bits")
+    shifts = np.arange(num_bits).reshape((num_bits,) + (1,) * values.ndim)
+    return ((values[None, ...] >> shifts) & 1).astype(np.uint8)
 
 
 def bits_to_int(bits: np.ndarray) -> np.ndarray:

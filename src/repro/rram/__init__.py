@@ -20,6 +20,14 @@ from repro.rram.crossbar import (
     slice_weights,
 )
 from repro.rram.endurance import EnduranceModel, WearReport
+from repro.rram.kernels import (
+    KernelPolicy,
+    fast_gemv,
+    get_default_kernel_policy,
+    kernel_policy,
+    reference_gemv,
+    set_default_kernel_policy,
+)
 from repro.rram.mapping import HybridSplit, MappedMatrix, array_footprint, split_by_rank
 from repro.rram.noise import (
     DEFAULT_NOISE,
@@ -53,13 +61,19 @@ __all__ = [
     "SarAdc",
     "WearReport",
     "WeightSlices",
+    "KernelPolicy",
     "apply_multiplicative_noise",
     "array_footprint",
     "ber_to_sigma",
     "bit_serial_gemv",
+    "fast_gemv",
+    "get_default_kernel_policy",
     "input_bit_weights",
+    "kernel_policy",
     "level_error_rate",
+    "reference_gemv",
     "required_adc_bits",
+    "set_default_kernel_policy",
     "sigma_to_ber",
     "slice_weights",
     "split_by_rank",

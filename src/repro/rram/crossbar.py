@@ -17,7 +17,12 @@ Implements the paper's analog PIM dataflow faithfully:
 
 In the noiseless case the pipeline is *exact*: it returns the integer GEMV
 ``x @ W.T`` (verified by tests), because the unit-step ADC only errs when a
-bitline saturates.
+bitline saturates.  The fast kernel in :mod:`repro.rram.kernels` exploits
+exactly this property: when a matrix is noiseless and no bitline can reach
+the ADC full-scale code it short-circuits the whole bit-serial pipeline to
+one dense matmul (with identical outputs and statistics); the einsum
+formulation survives as the ``reference`` kernel both are tested against.
+Which kernel runs is governed by :class:`~repro.rram.kernels.KernelPolicy`.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ import numpy as np
 from repro.quant.quantizer import int_to_bits
 from repro.rram.adc import SarAdc, required_adc_bits
 from repro.rram.cell import CellType
+from repro.rram.kernels import KernelPolicy, resolve_policy, run_gemv
 from repro.rram.noise import apply_multiplicative_noise
 
 __all__ = [
@@ -158,27 +164,95 @@ class ProgrammedMatrix:
         config: CrossbarConfig | None = None,
         weight_bits: int = 8,
         adc: SarAdc | None = None,
+        policy: KernelPolicy | None = None,
     ) -> None:
         rng = rng or np.random.default_rng(0)
         self.config = config or CrossbarConfig()
         weight_codes = np.asarray(weight_codes, dtype=np.int64)
         self.out_features, self.in_features = weight_codes.shape
         self.cell = cell
+        self.policy = policy
+        self.noise_sigma = float(noise_sigma)
         self.slices = slice_weights(weight_codes, cell, weight_bits)
-        self.programmed = apply_multiplicative_noise(
-            self.slices.values.astype(float), noise_sigma, rng
-        )
+        if self.noise_sigma == 0.0:
+            # Noiseless cells equal the integer slice levels exactly; keeping
+            # a float copy would double programmed-weight memory for nothing.
+            self._planes: np.ndarray | None = None
+        else:
+            self._planes = apply_multiplicative_noise(
+                self.slices.values.astype(np.float64), self.noise_sigma, rng
+            ).astype(resolve_policy(policy).storage_dtype)
         self.adc = adc or SarAdc(bits=required_adc_bits(self.config.rows, cell.bits))
+        self._saturation_free: bool | None = None
+        self._dense_weights_t: np.ndarray | None = None
+
+    # -- programmed-cell views (consumed by repro.rram.kernels) ---------------
+    @property
+    def is_noiseless(self) -> bool:
+        return self._planes is None
+
+    @property
+    def planes(self) -> np.ndarray:
+        """Programmed cell levels, shape (in, out, n_slices).
+
+        Integer slice levels when noiseless, noisy floats (in the policy's
+        compute dtype) otherwise.
+        """
+        return self.slices.values if self._planes is None else self._planes
+
+    @property
+    def programmed(self) -> np.ndarray:
+        """Back-compat float view of :attr:`planes`."""
+        return np.asarray(self.planes, dtype=np.float64)
+
+    @property
+    def saturation_free(self) -> bool:
+        """True when no bitline of any row tile can reach the ADC full scale.
+
+        Checked against the worst case (every wordline bit set): if even the
+        largest possible per-column level sum stays *strictly below* the
+        full-scale code, no conversion can clip or report saturation for any
+        input, which licenses the fast kernel's exact noiseless shortcut.
+        Computed once per programmed matrix and cached.
+        """
+        if self._saturation_free is None:
+            worst = 0
+            rows = self.config.rows
+            values = self.slices.values
+            for row_start in range(0, self.in_features, rows):
+                tile = values[row_start : row_start + rows]
+                worst = max(worst, int(tile.sum(axis=0).max()))
+            self._saturation_free = worst < self.adc.full_scale
+        return self._saturation_free
+
+    @property
+    def dense_weights_t(self) -> np.ndarray:
+        """``W.T`` as float64, recombined from the integer slices (lazy).
+
+        Only materialized by the fast kernel's noiseless shortcut; it is
+        ``num_slices`` times smaller than the slice planes.
+        """
+        if self._dense_weights_t is None:
+            recombined = (
+                self.slices.values.astype(np.float64) @ self.slices.slice_factors.astype(np.float64)
+            )
+            self._dense_weights_t = recombined - self.slices.offset
+        return self._dense_weights_t
 
     def gemv(
         self,
         input_codes: np.ndarray,
         input_bits: int = 8,
         stats: GemvStats | None = None,
+        policy: KernelPolicy | None = None,
     ) -> np.ndarray:
-        """Bit-serial ``x @ W.T`` against the programmed cells (signed ints)."""
+        """Bit-serial ``x @ W.T`` against the programmed cells (signed ints).
+
+        ``policy`` overrides the matrix-level policy for this call; both fall
+        back to the process-wide default (:mod:`repro.rram.kernels`).
+        """
         input_codes = np.atleast_2d(np.asarray(input_codes, dtype=np.int64))
-        batch, in_features = input_codes.shape
+        _, in_features = input_codes.shape
         if in_features != self.in_features:
             raise ValueError(
                 f"shape mismatch: inputs {input_codes.shape}, "
@@ -187,37 +261,13 @@ class ProgrammedMatrix:
         offset_inputs = input_codes + 2 ** (input_bits - 1)
         if offset_inputs.min() < 0 or offset_inputs.max() >= 2**input_bits:
             raise ValueError(f"input codes exceed the signed {input_bits}-bit range")
-        raw_bits = int_to_bits(input_codes & (2**input_bits - 1), input_bits)
-        bit_w = input_bit_weights(input_bits)
-        slice_f = self.slices.slice_factors
-
-        accumulator = np.zeros((batch, self.out_features), dtype=np.int64)
-        num_tiles = -(-in_features // self.config.rows)
-        for tile_index in range(num_tiles):
-            row_start = tile_index * self.config.rows
-            row_stop = min(row_start + self.config.rows, in_features)
-            tile_cells = self.programmed[row_start:row_stop]  # (rows_t, out, n_s)
-            tile_bits = raw_bits[:, row_start:row_stop, :]  # (batch, rows_t, in_bits)
-            # Analog bitline sums for every input bit-plane at once:
-            # (batch, input_bits, out, n_s)
-            sums = np.einsum("brk,ros->bkos", tile_bits.astype(float), tile_cells)
-            codes = self.adc.convert(sums)
-            if stats is not None:
-                stats.adc_conversions += codes.size
-                stats.saturated_conversions += int((codes == self.adc.full_scale).sum())
-                stats.wordline_activations += int(tile_bits.sum()) * self.slices.num_slices
-                stats.input_cycles += input_bits
-            # Digital shift & add over input-bit planes and weight slices.
-            accumulator += np.einsum("bkos,k,s->bo", codes, bit_w, slice_f)
-
-        if stats is not None:
-            col_tiles = -(-self.out_features * self.slices.num_slices // self.config.cols)
-            stats.array_tiles += num_tiles * col_tiles
-            stats.cells_programmed += self.slices.values.size
-
-        # Remove the weight offset: x @ (W + 128).T = x @ W.T + 128 * sum(x).
-        row_sums = input_codes.sum(axis=1, keepdims=True)
-        return accumulator - self.slices.offset * row_sums
+        return run_gemv(
+            self,
+            input_codes,
+            input_bits,
+            stats=stats,
+            policy=policy if policy is not None else self.policy,
+        )
 
 
 def bit_serial_gemv(
@@ -231,6 +281,7 @@ def bit_serial_gemv(
     weight_bits: int = 8,
     adc: SarAdc | None = None,
     stats: GemvStats | None = None,
+    policy: KernelPolicy | None = None,
 ) -> np.ndarray:
     """One-shot program + GEMV convenience wrapper around ProgrammedMatrix."""
     weight_codes = np.asarray(weight_codes, dtype=np.int64)
@@ -244,5 +295,6 @@ def bit_serial_gemv(
         config=config,
         weight_bits=weight_bits,
         adc=adc,
+        policy=policy,
     )
     return matrix.gemv(input_codes, input_bits=input_bits, stats=stats)

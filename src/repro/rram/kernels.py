@@ -1,0 +1,310 @@
+"""High-throughput kernels for the analog crossbar GEMV hot path.
+
+Every accuracy and energy figure in the paper funnels through the bit-serial
+analog GEMV of Figs. 3/6/7, so this module provides two interchangeable
+implementations of that pipeline plus the :class:`KernelPolicy` that selects
+between them:
+
+``reference``
+    The faithful, readable formulation: one float ``einsum`` per row tile
+    producing the full ``(batch, input_bits, out, n_slices)`` analog-sum
+    intermediate, an allocating ADC conversion, and per-element statistics
+    reductions.  This is the semantic ground truth the fast kernel is tested
+    against (bitwise, including :class:`~repro.rram.crossbar.GemvStats`).
+
+``fast``
+    The optimized formulation:
+
+    * inputs are pre-packed into plane-major uint8 bit planes
+      (:func:`repro.quant.quantizer.int_to_bit_planes`) and each bit plane
+      hits the programmed cells as a single 2-D BLAS matmul instead of a
+      naive 4-axis ``einsum``;
+    * the SAR ADC round/clip is fused in place on the matmul output
+      (:meth:`~repro.rram.adc.SarAdc.convert_`) — no intermediate
+      allocations;
+    * :class:`~repro.rram.crossbar.GemvStats` counts are computed in closed
+      form (conversion, cycle and tile counts from the shapes, wordline
+      activations from input popcounts) instead of per-element reductions
+      inside the tile loop;
+    * when the matrix is **noiseless** and no bitline can reach the ADC
+      full-scale code (checked once per programmed matrix from the cell
+      levels), the whole pipeline provably reduces to the exact integer
+      GEMV ``x @ W.T`` (see the :mod:`repro.rram.crossbar` docstring) and is
+      short-circuited to one dense matmul while still reporting identical
+      statistics.
+
+Both kernels read the same stored cell planes and accumulate analog bitline
+sums in float64, so their ADC codes — and therefore their integer outputs —
+agree bitwise; the equivalence grid in ``tests/rram/test_kernels.py``
+enforces this for every cell type, noise level and tile-spanning shape.
+
+The active policy is process-wide by default (:func:`set_default_kernel_policy`
+or the :func:`kernel_policy` context manager) and can be overridden per
+matrix or per call everywhere the GEMV surfaces (``ProgrammedMatrix``,
+``MappedMatrix``, ``AnalogPimModule``, ``HybridLinear``, ``HyFlexPim``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.quant.quantizer import int_to_bit_planes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.rram.crossbar import GemvStats, ProgrammedMatrix
+
+__all__ = [
+    "KernelPolicy",
+    "get_default_kernel_policy",
+    "set_default_kernel_policy",
+    "kernel_policy",
+    "resolve_policy",
+    "reference_gemv",
+    "fast_gemv",
+    "run_gemv",
+]
+
+_MODES = ("fast", "reference")
+_COMPUTE_DTYPES = ("float32", "float64")
+
+
+@dataclass(frozen=True)
+class KernelPolicy:
+    """Which GEMV kernel to run and how programmed cell planes are stored.
+
+    ``mode`` selects the implementation (``"fast"`` is the default and is
+    bitwise-equal to ``"reference"``); ``compute_dtype`` is the storage dtype
+    of the noisy programmed planes (``"float32"`` halves programmed-weight
+    memory versus the historical float64 with no observable effect beyond
+    freezing the programming noise at float32 precision).  Analog bitline
+    sums always accumulate in float64 regardless of ``compute_dtype``, which
+    is what keeps the two modes bitwise interchangeable.
+
+    The dtype is kept as a string so policies stay JSON/pickle friendly —
+    they ride inside :class:`~repro.core.hyflexpim.HyFlexPim` instances that
+    cross process boundaries during parallel sweeps.
+    """
+
+    mode: str = "fast"
+    compute_dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.compute_dtype not in _COMPUTE_DTYPES:
+            raise ValueError(
+                f"compute_dtype must be one of {_COMPUTE_DTYPES}, got {self.compute_dtype!r}"
+            )
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        """numpy dtype used to store noisy programmed cell planes."""
+        return np.dtype(self.compute_dtype)
+
+
+_default_policy = KernelPolicy()
+
+
+def get_default_kernel_policy() -> KernelPolicy:
+    """The process-wide policy used when none is passed explicitly."""
+    return _default_policy
+
+
+def set_default_kernel_policy(policy: KernelPolicy) -> KernelPolicy:
+    """Install ``policy`` process-wide; returns the previous default."""
+    global _default_policy
+    if not isinstance(policy, KernelPolicy):
+        raise TypeError(f"expected KernelPolicy, got {type(policy).__name__}")
+    previous = _default_policy
+    _default_policy = policy
+    return previous
+
+
+class kernel_policy:
+    """Context manager scoping a default-policy override.
+
+    >>> with kernel_policy(KernelPolicy(mode="reference")):
+    ...     matrix.gemv(x)  # runs the reference kernel
+    """
+
+    def __init__(self, policy: KernelPolicy) -> None:
+        self._policy = policy
+
+    def __enter__(self) -> KernelPolicy:
+        self._previous = set_default_kernel_policy(self._policy)
+        return self._policy
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_default_kernel_policy(self._previous)
+
+
+def resolve_policy(policy: KernelPolicy | None) -> KernelPolicy:
+    """``policy`` if given, else the process-wide default."""
+    return policy if policy is not None else _default_policy
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def _popcount_total(values: np.ndarray, num_bits: int) -> int:
+    """Total number of set bits across ``values`` (masked to ``num_bits``)."""
+    masked = np.asarray(values, dtype=np.int64) & ((1 << num_bits) - 1)
+    total = 0
+    for shift in range(0, num_bits, 8):
+        total += int(_POPCOUNT_TABLE[(masked >> shift) & 0xFF].sum(dtype=np.int64))
+    return total
+
+
+def _fill_analytic_stats(
+    stats: "GemvStats",
+    matrix: "ProgrammedMatrix",
+    input_codes: np.ndarray,
+    input_bits: int,
+    num_tiles: int,
+) -> None:
+    """Closed-form operation counts (everything except ADC saturations)."""
+    batch = input_codes.shape[0]
+    num_slices = matrix.slices.num_slices
+    stats.adc_conversions += num_tiles * batch * input_bits * matrix.out_features * num_slices
+    stats.wordline_activations += _popcount_total(input_codes, input_bits) * num_slices
+    stats.input_cycles += num_tiles * input_bits
+    col_tiles = -(-matrix.out_features * num_slices // matrix.config.cols)
+    stats.array_tiles += num_tiles * col_tiles
+    stats.cells_programmed += matrix.slices.values.size
+
+
+# ----------------------------------------------------------------------
+# Reference kernel — the faithful einsum pipeline
+# ----------------------------------------------------------------------
+def reference_gemv(
+    matrix: "ProgrammedMatrix",
+    input_codes: np.ndarray,
+    input_bits: int,
+    stats: "GemvStats | None" = None,
+) -> np.ndarray:
+    """Bit-serial GEMV, faithful formulation (Figs. 3/6/7, one einsum per tile).
+
+    ``input_codes`` must already be validated 2-D signed codes; this is the
+    semantic ground truth the fast kernel is checked against.
+    """
+    from repro.rram.crossbar import input_bit_weights
+    from repro.quant.quantizer import int_to_bits
+
+    planes = matrix.planes
+    raw_bits = int_to_bits(input_codes & (2**input_bits - 1), input_bits)
+    bit_w = input_bit_weights(input_bits)
+    slice_f = matrix.slices.slice_factors
+
+    batch, in_features = input_codes.shape
+    accumulator = np.zeros((batch, matrix.out_features), dtype=np.int64)
+    num_tiles = -(-in_features // matrix.config.rows)
+    for tile_index in range(num_tiles):
+        row_start = tile_index * matrix.config.rows
+        row_stop = min(row_start + matrix.config.rows, in_features)
+        tile_cells = planes[row_start:row_stop]  # (rows_t, out, n_s)
+        tile_bits = raw_bits[:, row_start:row_stop, :]  # (batch, rows_t, in_bits)
+        # Analog bitline sums for every input bit-plane at once:
+        # (batch, input_bits, out, n_s)
+        sums = np.einsum("brk,ros->bkos", tile_bits.astype(np.float64), tile_cells)
+        codes = matrix.adc.convert(sums)
+        if stats is not None:
+            stats.adc_conversions += codes.size
+            stats.saturated_conversions += int((codes == matrix.adc.full_scale).sum())
+            stats.wordline_activations += int(tile_bits.sum()) * matrix.slices.num_slices
+            stats.input_cycles += input_bits
+        # Digital shift & add over input-bit planes and weight slices.
+        accumulator += np.einsum("bkos,k,s->bo", codes, bit_w, slice_f)
+
+    if stats is not None:
+        col_tiles = -(-matrix.out_features * matrix.slices.num_slices // matrix.config.cols)
+        stats.array_tiles += num_tiles * col_tiles
+        stats.cells_programmed += matrix.slices.values.size
+
+    # Remove the weight offset: x @ (W + 128).T = x @ W.T + 128 * sum(x).
+    row_sums = input_codes.sum(axis=1, keepdims=True)
+    return accumulator - matrix.slices.offset * row_sums
+
+
+# ----------------------------------------------------------------------
+# Fast kernel — packed bit planes, BLAS matmuls, fused ADC, analytic stats
+# ----------------------------------------------------------------------
+def fast_gemv(
+    matrix: "ProgrammedMatrix",
+    input_codes: np.ndarray,
+    input_bits: int,
+    stats: "GemvStats | None" = None,
+) -> np.ndarray:
+    """Optimized bit-serial GEMV, bitwise-equal to :func:`reference_gemv`."""
+    from repro.rram.crossbar import input_bit_weights
+
+    batch, in_features = input_codes.shape
+    num_tiles = -(-in_features // matrix.config.rows)
+
+    if stats is not None:
+        _fill_analytic_stats(stats, matrix, input_codes, input_bits, num_tiles)
+
+    if matrix.is_noiseless and matrix.saturation_free:
+        # Exact short-circuit: with noiseless integer cells and no bitline
+        # able to reach the ADC full-scale code, every conversion returns
+        # its analog sum unchanged and the shift-and-add telescopes to the
+        # plain integer GEMV (the crossbar module docstring's exactness
+        # argument).  Saturated-conversion count is provably zero.
+        dense = matrix.dense_weights_t  # (in, out) float64, exact integers
+        product = input_codes.astype(np.float64) @ dense
+        return np.rint(product).astype(np.int64)
+
+    planes = matrix.planes
+    num_slices = matrix.slices.num_slices
+    out_cols = matrix.out_features * num_slices
+    bit_planes = int_to_bit_planes(input_codes & (2**input_bits - 1), input_bits)
+    bit_w = input_bit_weights(input_bits).astype(np.float64)
+    full_scale = matrix.adc.full_scale
+
+    # Accumulate ADC codes x input-bit weights in float64: every intermediate
+    # is an exact integer well inside 2^53, so this is exact integer math on
+    # BLAS-friendly operands.
+    acc = np.zeros((batch, out_cols), dtype=np.float64)
+    saturated = 0
+    for tile_index in range(num_tiles):
+        row_start = tile_index * matrix.config.rows
+        row_stop = min(row_start + matrix.config.rows, in_features)
+        cells = planes[row_start:row_stop].reshape(row_stop - row_start, out_cols)
+        cells = np.ascontiguousarray(cells, dtype=np.float64)
+        tile_bits = bit_planes[:, :, row_start:row_stop].astype(np.float64)
+        for k in range(input_bits):
+            sums = tile_bits[k] @ cells  # (batch, out*n_s) analog bitline sums
+            matrix.adc.convert_(sums)  # fused round/clip, in place
+            if stats is not None:
+                saturated += int(np.count_nonzero(sums == full_scale))
+            # acc += bit_w[k] * sums without a temporary:
+            np.multiply(sums, bit_w[k], out=sums)
+            np.add(acc, sums, out=acc)
+    if stats is not None:
+        stats.saturated_conversions += saturated
+
+    # Digital recombination over weight slices, then offset removal.
+    slice_f = matrix.slices.slice_factors.astype(np.float64)
+    combined = acc.reshape(batch, matrix.out_features, num_slices) @ slice_f
+    result = np.rint(combined).astype(np.int64)
+    row_sums = input_codes.sum(axis=1, keepdims=True)
+    return result - matrix.slices.offset * row_sums
+
+
+def run_gemv(
+    matrix: "ProgrammedMatrix",
+    input_codes: np.ndarray,
+    input_bits: int,
+    stats: "GemvStats | None" = None,
+    policy: KernelPolicy | None = None,
+) -> np.ndarray:
+    """Dispatch one validated GEMV according to ``policy`` (or the default)."""
+    policy = resolve_policy(policy)
+    if policy.mode == "reference":
+        return reference_gemv(matrix, input_codes, input_bits, stats)
+    return fast_gemv(matrix, input_codes, input_bits, stats)

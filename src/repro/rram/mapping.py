@@ -21,6 +21,7 @@ import numpy as np
 from repro.rram.adc import SarAdc, required_adc_bits
 from repro.rram.cell import CellType, MLC2, SLC
 from repro.rram.crossbar import CrossbarConfig, GemvStats, ProgrammedMatrix
+from repro.rram.kernels import KernelPolicy
 from repro.rram.noise import DEFAULT_NOISE, NoiseSpec
 
 __all__ = ["array_footprint", "MappedMatrix", "HybridSplit", "split_by_rank"]
@@ -55,6 +56,7 @@ class MappedMatrix:
     config: CrossbarConfig = field(default_factory=CrossbarConfig)
     weight_bits: int = 8
     seed: int = 0
+    policy: KernelPolicy | None = None
     stats: GemvStats = field(default_factory=GemvStats)
 
     def __post_init__(self) -> None:
@@ -69,6 +71,7 @@ class MappedMatrix:
             rng=np.random.default_rng(self.seed),
             config=self.config,
             weight_bits=self.weight_bits,
+            policy=self.policy,
         )
         self.write_count = 1
 
@@ -90,9 +93,11 @@ class MappedMatrix:
     def adc(self) -> SarAdc:
         return SarAdc(bits=required_adc_bits(self.config.rows, self.cell.bits))
 
-    def gemv(self, input_codes: np.ndarray) -> np.ndarray:
+    def gemv(
+        self, input_codes: np.ndarray, policy: KernelPolicy | None = None
+    ) -> np.ndarray:
         """Noisy analog GEMV ``x @ W.T`` (signed integer result)."""
-        return self._programmed.gemv(input_codes, stats=self.stats)
+        return self._programmed.gemv(input_codes, stats=self.stats, policy=policy)
 
     def ideal_gemv(self, input_codes: np.ndarray) -> np.ndarray:
         """Noise-free integer reference (for error measurements)."""
@@ -134,6 +139,7 @@ def split_by_rank(
     config: CrossbarConfig | None = None,
     mlc_cell: CellType = MLC2,
     seed: int = 0,
+    policy: KernelPolicy | None = None,
 ) -> HybridSplit:
     """Place factored weights on SLC/MLC arrays according to ``protected``.
 
@@ -157,7 +163,12 @@ def split_by_rank(
         if codes.size == 0:
             return None
         return MappedMatrix(
-            weight_codes=codes, cell=cell, noise=noise, config=config, seed=seed + salt
+            weight_codes=codes,
+            cell=cell,
+            noise=noise,
+            config=config,
+            seed=seed + salt,
+            policy=policy,
         )
 
     return HybridSplit(

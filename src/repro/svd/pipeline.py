@@ -19,7 +19,6 @@ import numpy as np
 
 from repro.nn.data import ArrayDataset
 from repro.nn.modules import Module
-from repro.svd.decompose import hard_threshold_rank
 from repro.svd.finetune import FinetuneResult, finetune
 from repro.svd.selection import (
     select_ranks_by_gradient,
@@ -92,6 +91,9 @@ class GradientRedistributionPipeline:
         ``"gradient"`` (paper) or ``"rank"`` (brute-force top singular values).
     epochs, batch_size, learning_rate:
         Fine-tuning hyper-parameters (Table 1 analogues for mini models).
+    compute_dtype:
+        Optional tensor precision ("float32"/"float64") for the fine-tuning
+        loop (see :func:`repro.svd.finetune.finetune`).
     """
 
     def __init__(
@@ -102,6 +104,7 @@ class GradientRedistributionPipeline:
         batch_size: int = 16,
         learning_rate: float = 1e-3,
         rng: np.random.Generator | None = None,
+        compute_dtype: str | None = None,
     ) -> None:
         if policy not in ("gradient", "rank"):
             raise ValueError(f"policy must be 'gradient' or 'rank', got {policy!r}")
@@ -111,6 +114,7 @@ class GradientRedistributionPipeline:
         self.batch_size = batch_size
         self.learning_rate = learning_rate
         self.rng = rng or np.random.default_rng(0)
+        self.compute_dtype = compute_dtype
 
     def run(
         self,
@@ -129,6 +133,7 @@ class GradientRedistributionPipeline:
             batch_size=self.batch_size,
             learning_rate=self.learning_rate,
             rng=self.rng,
+            compute_dtype=self.compute_dtype,
         )
         layers: dict[str, LayerPlan] = {}
         for name, layer in svd_layers.items():

@@ -1,0 +1,37 @@
+"""Tests for the bench_kernels perf-trajectory study."""
+
+from __future__ import annotations
+
+from repro.exp import ExperimentSpec, Runner, available_experiments
+
+TINY = {
+    "batches": (1,),
+    "out_features": (8,),
+    "in_features": 32,
+    "cells": ("SLC",),
+    "reps": 1,
+    "include_fig12": False,
+}
+
+
+class TestBenchKernels:
+    def test_registered_with_smoke_config(self):
+        defn = available_experiments()["bench_kernels"]
+        assert defn.smoke  # CI runs it via --smoke
+
+    def test_tiny_run_payload_shape(self):
+        result = Runner(use_cache=False).run(
+            ExperimentSpec("bench_kernels", params=TINY)
+        )
+        value = result.value
+        # SLC x {none, calibrated} x 1 batch x 1 out-features = 2 grid rows.
+        assert len(value["grid"]) == 2
+        for row in value["grid"]:
+            assert row["reference_us"] > 0
+            assert row["fast_us"] > 0
+            assert row["speedup"] > 0
+        # The gated large points are always measured, even off-grid.
+        for key in ("large_noiseless", "large_noisy"):
+            assert value[key]["batch"] == 64
+            assert value[key]["out_features"] == 256
+        assert "fig12_smoke_wall_s" not in value

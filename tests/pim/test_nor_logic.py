@@ -97,6 +97,23 @@ class TestArithmetic:
         # logical gate count per scalar multiply sits in the hundreds.
         assert counter.count < 64 * NOR_OPS_PER_INT8_MULT
 
+    def test_gate_counts_unchanged_by_vectorization(self):
+        """The closed-form bit arithmetic must charge exactly the gates the
+        sequential netlist evaluated: 8 ANDs (3 each) + 8 ripple adds of 16
+        full adders (18 each) per multiply, 18 per full-adder stage of a
+        ripple add."""
+        counter = NorCounter()
+        multiply_int8(173, 91, counter)
+        assert counter.count == 8 * 3 + 8 * 16 * 18
+        counter = NorCounter()
+        ripple_add(bits_of(93, 8), bits_of(170, 8), counter)
+        assert counter.count == 8 * 18
+
+    def test_multiply_broadcasts_like_numpy(self, rng):
+        a = rng.integers(0, 256, size=(4, 1))
+        b = rng.integers(0, 256, size=(1, 5))
+        np.testing.assert_array_equal(multiply_int8(a, b), a * b)
+
 
 class TestPaperConstants:
     def test_values(self):

@@ -13,6 +13,7 @@ from repro.quant import (
     bits_to_int,
     dequantize,
     fake_quantize,
+    int_to_bit_planes,
     int_to_bits,
     offset_decode,
     offset_encode,
@@ -107,6 +108,23 @@ class TestBitDecomposition:
     def test_rejects_overflow(self):
         with pytest.raises(ValueError):
             int_to_bits(np.array([256]), 8)
+
+    def test_bit_planes_match_trailing_axis_layout(self, rng):
+        """Plane-major uint8 planes are a transposed view of int_to_bits."""
+        values = rng.integers(0, 256, size=(6, 7))
+        planes = int_to_bit_planes(values, 8)
+        assert planes.dtype == np.uint8
+        assert planes.shape == (8, 6, 7)
+        assert planes[0].flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(
+            np.moveaxis(planes, 0, -1), int_to_bits(values, 8)
+        )
+
+    def test_bit_planes_validate_range(self):
+        with pytest.raises(ValueError):
+            int_to_bit_planes(np.array([-1]), 8)
+        with pytest.raises(ValueError):
+            int_to_bit_planes(np.array([256]), 8)
 
     def test_weighted_sum_identity(self, rng):
         """Bit-serial dot product == integer dot product (the S&A identity)."""

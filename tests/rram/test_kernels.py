@@ -1,0 +1,150 @@
+"""Kernel-engine tests: fast/reference bitwise equivalence, policy plumbing.
+
+The fast kernel is only allowed to exist because it is *indistinguishable*
+from the reference pipeline: the grid below checks bitwise-equal outputs and
+identical :class:`GemvStats` over every cell type, noise level and
+tile-spanning shape, including the noiseless shortcut and its saturation
+fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rram import (
+    CELL_TYPES,
+    CrossbarConfig,
+    DEFAULT_NOISE,
+    GemvStats,
+    KernelPolicy,
+    MLC2,
+    ProgrammedMatrix,
+    SLC,
+    bit_serial_gemv,
+    get_default_kernel_policy,
+    kernel_policy,
+    set_default_kernel_policy,
+)
+
+REFERENCE = KernelPolicy(mode="reference")
+FAST = KernelPolicy(mode="fast")
+
+# Odd shapes spanning multiple row and column tiles: (batch, in, out).
+SHAPES = [(1, 16, 4), (5, 70, 33), (3, 200, 7), (2, 129, 65)]
+
+
+def _config_for(cell_name: str) -> CrossbarConfig:
+    """3-/4-bit cells need fewer rows to fit the 7-bit physical SAR ADC."""
+    if CELL_TYPES[cell_name].bits <= 2:
+        return CrossbarConfig()
+    return CrossbarConfig(rows=16, cols=32)
+
+
+class TestFastReferenceEquivalence:
+    @pytest.mark.parametrize("cell_name", sorted(CELL_TYPES))
+    @pytest.mark.parametrize("noisy", [False, True], ids=["noiseless", "calibrated"])
+    @pytest.mark.parametrize("shape", SHAPES, ids=str)
+    def test_bitwise_equal_with_identical_stats(self, cell_name, noisy, shape):
+        cell = CELL_TYPES[cell_name]
+        sigma = DEFAULT_NOISE.sigma(cell) if noisy else 0.0
+        batch, in_f, out_f = shape
+        import zlib
+
+        data_rng = np.random.default_rng(zlib.crc32(repr((cell_name, noisy, shape)).encode()))
+        x = data_rng.integers(-128, 128, size=(batch, in_f))
+        w = data_rng.integers(-128, 128, size=(out_f, in_f))
+        matrix = ProgrammedMatrix(
+            w,
+            cell,
+            noise_sigma=sigma,
+            rng=np.random.default_rng(7),
+            config=_config_for(cell_name),
+        )
+        ref_stats, fast_stats = GemvStats(), GemvStats()
+        ref = matrix.gemv(x, stats=ref_stats, policy=REFERENCE)
+        fast = matrix.gemv(x, stats=fast_stats, policy=FAST)
+        np.testing.assert_array_equal(ref, fast)
+        assert ref_stats == fast_stats
+
+    def test_noiseless_shortcut_is_exact(self, rng):
+        x = rng.integers(-128, 128, size=(6, 100))
+        w = rng.integers(-128, 128, size=(12, 100))
+        matrix = ProgrammedMatrix(w, SLC, noise_sigma=0.0)
+        assert matrix.saturation_free  # random SLC columns stay below full scale
+        np.testing.assert_array_equal(matrix.gemv(x, policy=FAST), x @ w.T)
+
+    def test_saturating_matrix_falls_back_and_still_matches_reference(self):
+        """All-max weights drive bitlines to full scale: the shortcut must
+        not engage, and the general fast path must track the reference's
+        clipping exactly (including the saturated-conversion count)."""
+        w = np.full((4, 64), 127, dtype=np.int64)
+        x = np.full((2, 64), 127, dtype=np.int64)
+        matrix = ProgrammedMatrix(w, SLC, noise_sigma=0.0)
+        assert not matrix.saturation_free
+        ref_stats, fast_stats = GemvStats(), GemvStats()
+        ref = matrix.gemv(x, stats=ref_stats, policy=REFERENCE)
+        fast = matrix.gemv(x, stats=fast_stats, policy=FAST)
+        np.testing.assert_array_equal(ref, fast)
+        assert ref_stats == fast_stats
+        assert fast_stats.saturated_conversions > 0
+
+    def test_one_shot_wrapper_accepts_policy(self, rng):
+        x = rng.integers(-128, 128, size=(2, 32))
+        w = rng.integers(-128, 128, size=(5, 32))
+        a = bit_serial_gemv(x, w, MLC2, 0.05, rng=np.random.default_rng(3), policy=REFERENCE)
+        b = bit_serial_gemv(x, w, MLC2, 0.05, rng=np.random.default_rng(3), policy=FAST)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKernelPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelPolicy(mode="einsum")
+        with pytest.raises(ValueError):
+            KernelPolicy(compute_dtype="float16")
+
+    def test_default_policy_roundtrip(self):
+        original = get_default_kernel_policy()
+        previous = set_default_kernel_policy(KernelPolicy(mode="reference"))
+        try:
+            assert previous == original
+            assert get_default_kernel_policy().mode == "reference"
+        finally:
+            set_default_kernel_policy(original)
+
+    def test_context_manager_restores(self):
+        original = get_default_kernel_policy()
+        with kernel_policy(KernelPolicy(mode="reference", compute_dtype="float64")):
+            assert get_default_kernel_policy().compute_dtype == "float64"
+        assert get_default_kernel_policy() == original
+
+    def test_matrix_level_policy_wins_over_default(self, rng):
+        x = rng.integers(-128, 128, size=(2, 16))
+        w = rng.integers(-128, 128, size=(3, 16))
+        matrix = ProgrammedMatrix(w, SLC, policy=REFERENCE)
+        # Dispatch must not blow up and must match the fast default result.
+        np.testing.assert_array_equal(matrix.gemv(x), matrix.gemv(x, policy=FAST))
+
+
+class TestProgrammedMemoryLayout:
+    def test_noiseless_keeps_single_integer_copy(self, rng):
+        w = rng.integers(-128, 128, size=(4, 16))
+        matrix = ProgrammedMatrix(w, SLC, noise_sigma=0.0)
+        assert matrix.is_noiseless
+        assert matrix.planes is matrix.slices.values  # no redundant float copy
+
+    def test_noisy_planes_use_policy_compute_dtype(self, rng):
+        w = rng.integers(-128, 128, size=(4, 16))
+        f32 = ProgrammedMatrix(w, MLC2, noise_sigma=0.05)
+        assert f32.planes.dtype == np.float32  # default policy
+        f64 = ProgrammedMatrix(
+            w, MLC2, noise_sigma=0.05, policy=KernelPolicy(compute_dtype="float64")
+        )
+        assert f64.planes.dtype == np.float64
+
+    def test_programmed_backcompat_view_is_float(self, rng):
+        w = rng.integers(-128, 128, size=(4, 16))
+        matrix = ProgrammedMatrix(w, SLC, noise_sigma=0.0)
+        assert matrix.programmed.dtype == np.float64
+        np.testing.assert_array_equal(matrix.programmed, matrix.slices.values)
