@@ -91,16 +91,43 @@ def evaluate_regressor(model: Module, dataset: ArrayDataset, batch_size: int = 6
     return pearson_correlation(np.concatenate(predictions), dataset.targets)
 
 
-def evaluate_lm(model: Module, dataset: ArrayDataset, batch_size: int = 32) -> float:
-    """Mean evaluation loss (nats/token) — the paper's decoder metric."""
+def evaluate_lm(
+    model: Module,
+    dataset: ArrayDataset,
+    batch_size: int = 32,
+    pad_id: int | None = None,
+) -> float:
+    """Mean evaluation loss (nats/token) — the paper's decoder metric.
+
+    The per-batch NLLs are weighted by the number of *scored tokens*, not by
+    the number of sequences: sequence weighting skews the mean (and thus the
+    reported perplexity) whenever batches score different token counts —
+    e.g. a ragged final batch of padded sequences.
+
+    ``pad_id`` marks target positions to exclude from scoring (right-padded
+    variable-length sequences, as produced by the serving engine's batched
+    decode); None scores every position.
+    """
     total, count = 0.0, 0
     with no_grad():
         for start in range(0, len(dataset), batch_size):
             inputs = dataset.inputs[start : start + batch_size]
-            targets = dataset.targets[start : start + batch_size]
-            loss = lm_cross_entropy(model(inputs), targets)
-            total += float(loss.data) * len(inputs)
-            count += len(inputs)
+            targets = np.asarray(dataset.targets[start : start + batch_size])
+            logits = model(inputs)
+            if pad_id is None:
+                loss = lm_cross_entropy(logits, targets)
+                tokens = targets.size
+                total += float(loss.data) * tokens
+            else:
+                mask = targets != pad_id
+                tokens = int(mask.sum())
+                if tokens == 0:
+                    continue
+                log_probs = logits.log_softmax(axis=-1).data
+                batch_idx, pos_idx = np.nonzero(mask)
+                picked = log_probs[batch_idx, pos_idx, targets[mask]]
+                total += float(-picked.sum())
+            count += tokens
     return total / max(count, 1)
 
 

@@ -31,7 +31,7 @@ from repro.rram import (
     ProgrammedMatrix,
 )
 
-__all__ = ["bench_kernels"]
+__all__ = ["bench_kernels", "bench_serve"]
 
 #: The benchmark grid (overridable via params).  The "large" point is the
 #: one the CI perf gate checks; it matches the ISSUE-2 acceptance criteria
@@ -159,3 +159,149 @@ def bench_kernels(params: dict[str, Any], seed: int) -> dict[str, Any]:
     if include_fig12:
         payload["fig12_smoke_wall_s"] = round(_fig12_smoke_wall_s(seed), 3)
     return payload
+
+
+# ----------------------------------------------------------------------
+# Serving benchmark: KV-cached incremental decode vs naive O(L²) recompute
+# ----------------------------------------------------------------------
+
+#: Decode-path benchmark grid.  The "large" point is the one the CI perf
+#: gate checks (cached must never be slower than naive; the ISSUE-3
+#: acceptance bar is >= 5x tokens/s at this point).
+SERVE_BATCHES = (1, 8, 32)
+SERVE_LARGE_POINT = {"batch": 8, "prompt_len": 16, "new_tokens": 48}
+
+
+def _serve_model(params: dict[str, Any], seed: int):
+    from repro.nn import DecoderLM, TransformerConfig
+
+    config = TransformerConfig(
+        vocab_size=int(params.get("vocab_size", 128)),
+        d_model=int(params.get("d_model", 64)),
+        num_heads=int(params.get("num_heads", 4)),
+        num_layers=int(params.get("num_layers", 2)),
+        d_ff=int(params.get("d_ff", 256)),
+        max_seq_len=int(params.get("max_seq_len", 64)),
+        seed=seed,
+    )
+    return DecoderLM(config)
+
+
+def _time_generate(model, prompts: np.ndarray, new_tokens: int, use_cache: bool, reps: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        model.generate(prompts, new_tokens, use_cache=use_cache)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _serve_point(
+    model, batch: int, prompt_len: int, new_tokens: int, reps: int, rng: np.random.Generator
+) -> dict[str, Any]:
+    prompts = rng.integers(0, model.config.vocab_size, size=(batch, prompt_len))
+    # Correctness cross-check rides along with every timing: greedy cached
+    # decode must emit exactly the tokens the naive recompute path emits.
+    cached_out = model.generate(prompts, new_tokens, use_cache=True)
+    naive_out = model.generate(prompts, new_tokens, use_cache=False)
+    if not np.array_equal(cached_out, naive_out):
+        raise AssertionError(
+            f"cached/naive decode mismatch at batch={batch}, "
+            f"prompt_len={prompt_len}, new_tokens={new_tokens}"
+        )
+    naive_s = _time_generate(model, prompts, new_tokens, False, reps)
+    cached_s = _time_generate(model, prompts, new_tokens, True, reps)
+    tokens = batch * new_tokens
+    return {
+        "batch": batch,
+        "prompt_len": prompt_len,
+        "new_tokens": new_tokens,
+        "naive_tok_s": round(tokens / naive_s, 1),
+        "cached_tok_s": round(tokens / cached_s, 1),
+        "speedup": round(naive_s / cached_s, 2),
+    }
+
+
+def _engine_throughput(model, params: dict[str, Any], rng: np.random.Generator) -> dict[str, Any]:
+    """Dynamic-batching throughput over a ragged request stream."""
+    from repro.serve import ServingEngine
+
+    num_requests = int(params.get("engine_requests", 24))
+    max_batch = int(params.get("engine_max_batch", 8))
+    new_tokens = int(params.get("engine_new_tokens", 24))
+    engine = ServingEngine(model, max_batch_size=max_batch, max_wait_s=0.0)
+    max_prompt = max(1, model.config.max_seq_len - new_tokens)
+    low = min(4, max_prompt)
+    prompts = [
+        rng.integers(0, model.config.vocab_size, size=int(length))
+        for length in rng.integers(low, max_prompt + 1, size=num_requests)
+    ]
+    engine.serve(prompts, max_new_tokens=new_tokens)
+    payload = engine.stats.as_dict()
+    payload["slot_pool"] = engine.slot_pool.stats.as_dict()
+    payload["max_batch_size"] = max_batch
+    return payload
+
+
+@experiment(
+    "bench_serve",
+    smoke={"batches": (8,), "reps": 1, "engine_requests": 8},
+)
+def bench_serve(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Decode-path timings: KV-cached incremental vs naive O(L²) recompute.
+
+    Times ``DecoderLM.generate`` under both paths over a batch grid (greedy,
+    correctness cross-checked at every point) and measures end-to-end
+    :class:`~repro.serve.ServingEngine` throughput over a ragged request
+    stream with dynamic batching.  The payload lands in ``BENCH_serve.json``
+    (written by ``benchmarks/bench_serve.py`` and the CI smoke job), which
+    gates: cached decode must never be slower than naive recompute at the
+    large point.
+    """
+    batches = tuple(params.get("batches", SERVE_BATCHES))
+    prompt_len = int(params.get("prompt_len", SERVE_LARGE_POINT["prompt_len"]))
+    new_tokens = int(params.get("new_tokens", SERVE_LARGE_POINT["new_tokens"]))
+    reps = int(params.get("reps", 2))
+
+    rng = np.random.default_rng(seed)
+    model = _serve_model(params, seed)
+    grid = [
+        _serve_point(model, batch, prompt_len, new_tokens, reps, rng)
+        for batch in batches
+    ]
+
+    # The gated large point: always measured, even on a shrunken grid.
+    large = next(
+        (
+            row
+            for row in grid
+            if row["batch"] == SERVE_LARGE_POINT["batch"]
+            and row["prompt_len"] == SERVE_LARGE_POINT["prompt_len"]
+            and row["new_tokens"] == SERVE_LARGE_POINT["new_tokens"]
+        ),
+        None,
+    )
+    if large is None:
+        # Off-grid: measure on the default geometry (a shrunken custom model
+        # may not even hold the large point's 64 positions).
+        large = _serve_point(
+            _serve_model({}, seed),
+            SERVE_LARGE_POINT["batch"],
+            SERVE_LARGE_POINT["prompt_len"],
+            SERVE_LARGE_POINT["new_tokens"],
+            reps,
+            rng,
+        )
+
+    return {
+        "model": {
+            "d_model": model.config.d_model,
+            "num_layers": model.config.num_layers,
+            "num_heads": model.config.num_heads,
+            "max_seq_len": model.config.max_seq_len,
+            "vocab_size": model.config.vocab_size,
+        },
+        "grid": grid,
+        "large": large,
+        "engine": _engine_throughput(model, params, rng),
+    }

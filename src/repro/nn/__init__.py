@@ -1,6 +1,7 @@
 """Numpy-based neural-network substrate (autograd, layers, Transformers)."""
 
 from repro.nn.attention import MultiHeadAttention, causal_mask
+from repro.nn.kv_cache import KVCache
 from repro.nn.data import ArrayDataset, BatchIterator, train_test_split
 from repro.nn.losses import cross_entropy, lm_cross_entropy, mse_loss
 from repro.nn.modules import (
@@ -46,6 +47,7 @@ __all__ = [
     "Embedding",
     "EncoderClassifier",
     "GELU",
+    "KVCache",
     "LayerNorm",
     "Linear",
     "LinearWarmupSchedule",

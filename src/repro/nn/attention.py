@@ -19,9 +19,21 @@ from repro.nn.tensor import Tensor
 __all__ = ["MultiHeadAttention", "causal_mask"]
 
 
-def causal_mask(seq_len: int) -> np.ndarray:
-    """Boolean mask that is True where attention must be *blocked* (j > i)."""
-    return np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+def causal_mask(seq_len: int, kv_len: int | None = None) -> np.ndarray:
+    """Boolean mask that is True where attention must be *blocked*.
+
+    With only ``seq_len`` this is the familiar (L, L) upper-triangular mask
+    (key ``j`` blocked for query ``i`` when ``j > i``).  With ``kv_len`` it
+    generalizes to incremental decoding over a KV cache: the ``seq_len``
+    queries sit at positions ``kv_len - seq_len .. kv_len - 1`` of a
+    ``kv_len``-long key prefix, so query row ``i`` may attend keys
+    ``j <= kv_len - seq_len + i``.  ``kv_len == seq_len`` recovers the
+    classic mask bit-for-bit.
+    """
+    kv_len = seq_len if kv_len is None else kv_len
+    if kv_len < seq_len:
+        raise ValueError(f"kv_len ({kv_len}) must be >= seq_len ({seq_len})")
+    return np.triu(np.ones((seq_len, kv_len), dtype=bool), k=kv_len - seq_len + 1)
 
 
 class MultiHeadAttention(Module):
@@ -65,37 +77,67 @@ class MultiHeadAttention(Module):
         # (B, L, D) -> (B, H, L, d_head)
         return x.reshape(batch, seq, self.num_heads, self.d_head).transpose((0, 2, 1, 3))
 
-    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: np.ndarray | None = None,
+        cache=None,
+    ) -> Tensor:
         """Run self-attention over ``x`` of shape (batch, seq, d_model).
 
         ``attention_mask`` is an optional boolean array broadcastable to
-        (batch, 1, seq, seq); True entries are blocked.
+        (batch, 1, seq, kv_len); True entries are blocked.
+
+        ``cache`` is an optional per-layer KV-cache slot (see
+        :meth:`repro.nn.kv_cache.KVCache.layer`): Q/K/V are computed only for
+        the ``seq`` *new* tokens, the new K/V are appended to the cache, and
+        attention runs over the full cached prefix — the O(L)-per-token
+        incremental path.  Cached K/V are constants (inference only; no
+        gradient flows into previously cached tokens).
+
+        With a ragged cache the key-validity mask is derived automatically
+        only when ``attention_mask`` is None; a caller supplying its own
+        mask must already include ``cache.key_padding_mask(...)`` (as
+        :class:`~repro.nn.transformer.DecoderLM` does, computing it once and
+        sharing it across all layers instead of rebuilding it per block).
         """
         batch, seq, _ = x.shape
         q = self._split_heads(self.w_q(x), batch, seq)
         k = self._split_heads(self.w_k(x), batch, seq)
         v = self._split_heads(self.w_v(x), batch, seq)
 
+        kv_len = seq
+        if cache is not None:
+            offset = cache.offset
+            k_data, v_data = cache.append(k.data, v.data)
+            kv_len = offset + seq
+            k, v = Tensor(k_data), Tensor(v_data)
+            if attention_mask is None:
+                attention_mask = cache.key_padding_mask(kv_len)
+
         scores = (q @ k.transpose((0, 1, 3, 2))) * (1.0 / math.sqrt(self.d_head))
-        mask = self._combined_mask(seq, attention_mask)
+        mask = self._combined_mask(seq, attention_mask, kv_len=kv_len)
         if mask is not None:
             scores = scores.masked_fill(mask, -1e9)
         probs = scores.softmax(axis=-1)
         probs = self.attn_dropout(probs)
 
-        context = probs @ v  # (B, H, L, d_head)
+        context = probs @ v  # (B, H, seq, d_head)
         context = context.transpose((0, 2, 1, 3)).reshape(batch, seq, self.d_model)
         return self.w_proj(context)
 
     def _combined_mask(
-        self, seq: int, attention_mask: np.ndarray | None
+        self,
+        seq: int,
+        attention_mask: np.ndarray | None,
+        kv_len: int | None = None,
     ) -> np.ndarray | None:
         mask = None
         if self.causal:
-            mask = causal_mask(seq)[None, None, :, :]
+            mask = causal_mask(seq, kv_len)[None, None, :, :]
         if attention_mask is not None:
             attention_mask = np.asarray(attention_mask, dtype=bool)
-            if attention_mask.ndim == 2:  # (B, L) padding mask over keys
+            if attention_mask.ndim == 2:  # (B, kv_len) padding mask over keys
                 attention_mask = attention_mask[:, None, None, :]
             mask = attention_mask if mask is None else (mask | attention_mask)
         return mask

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nn.attention import MultiHeadAttention
+from repro.nn.kv_cache import KVCache
 from repro.nn.modules import (
     Dropout,
     Embedding,
@@ -29,7 +30,7 @@ from repro.nn.modules import (
     ModuleList,
     ReLU,
 )
-from repro.nn.tensor import Tensor, concatenate
+from repro.nn.tensor import Tensor, concatenate, no_grad
 
 __all__ = [
     "TransformerConfig",
@@ -115,8 +116,17 @@ class TransformerBlock(Module):
         self.ffn = FeedForward(config, rng)
         self.dropout = Dropout(config.dropout, rng=rng)
 
-    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
-        x = x + self.dropout(self.attn(self.ln1(x), attention_mask=attention_mask))
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: np.ndarray | None = None,
+        cache=None,
+    ) -> Tensor:
+        """Apply the block; ``cache`` (a per-layer KV slot) enables the
+        incremental path where ``x`` holds only the new tokens."""
+        x = x + self.dropout(
+            self.attn(self.ln1(x), attention_mask=attention_mask, cache=cache)
+        )
         x = x + self.ffn(self.ln2(x))
         return x
 
@@ -211,36 +221,264 @@ class DecoderLM(_TransformerBase):
         self.final_norm = LayerNorm(config.d_model)
         self.lm_head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
 
-    def forward(self, token_ids: np.ndarray) -> Tensor:
-        """Return next-token logits of shape (batch, seq, vocab)."""
+    def forward(self, token_ids: np.ndarray, cache: KVCache | None = None) -> Tensor:
+        """Return next-token logits of shape (batch, seq, vocab).
+
+        Without ``cache`` this is the full-context forward over all ``seq``
+        positions.  With a :class:`~repro.nn.kv_cache.KVCache`, ``token_ids``
+        holds only the *new* tokens: K/V are computed for those alone,
+        appended to the per-layer caches, and attention runs over the cached
+        prefix — O(L) work per emitted token instead of O(L²).  The cache's
+        per-row lengths supply both the position-embedding offsets and the
+        key-validity masks, so ragged (right-padded) batches decode
+        correctly.  The two paths produce identical logits for the new
+        tokens up to floating-point reassociation (verified in tests at the
+        active compute dtype).
+        """
         token_ids = np.asarray(token_ids)
         _, seq = token_ids.shape
-        if seq > self.config.max_seq_len:
-            raise ValueError(f"sequence length {seq} exceeds max {self.config.max_seq_len}")
-        positions = np.arange(seq)
+        if cache is None:
+            if seq > self.config.max_seq_len:
+                raise ValueError(
+                    f"sequence length {seq} exceeds max {self.config.max_seq_len}"
+                )
+            positions: np.ndarray = np.arange(seq)
+        else:
+            if cache.max_length + seq > self.config.max_seq_len:
+                raise ValueError(
+                    f"cached length {cache.max_length} + {seq} new tokens exceeds "
+                    f"max {self.config.max_seq_len}"
+                )
+            # Per-row absolute positions: each row continues from its own
+            # valid prefix length, which keeps ragged batches equivalent to
+            # running every row alone.
+            positions = cache.lengths[:, None] + np.arange(seq)[None, :]
         x = self.token_embedding(token_ids) + self.position_embedding(positions)
         x = self.embed_dropout(x)
-        for block in self.blocks:
-            x = block(x)
+        # The ragged key-validity mask depends only on the cache lengths, so
+        # compute it once here and share it across every layer.
+        attention_mask = (
+            None if cache is None else cache.key_padding_mask(cache.max_length + seq)
+        )
+        for i, block in enumerate(self.blocks):
+            x = block(
+                x,
+                attention_mask=attention_mask,
+                cache=None if cache is None else cache.layer(i),
+            )
         x = self.final_norm(x)
-        return self.lm_head(x)
+        logits = self.lm_head(x)
+        if cache is not None:
+            cache.advance(seq)
+        return logits
+
+    def new_cache(self, batch: int, capacity: int | None = None) -> KVCache:
+        """Allocate a KV cache sized for this model (``capacity`` defaults to
+        ``max_seq_len``)."""
+        return KVCache(
+            num_layers=self.config.num_layers,
+            batch=batch,
+            num_heads=self.config.num_heads,
+            head_dim=self.config.d_head,
+            capacity=min(capacity or self.config.max_seq_len, self.config.max_seq_len),
+        )
+
+    def _select_tokens(
+        self, logits: np.ndarray, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        """Greedy argmax (rng=None) or per-row categorical sampling."""
+        if rng is None:
+            return np.argmax(logits, axis=-1).astype(np.int64)
+        shifted = np.exp(logits - logits.max(axis=-1, keepdims=True))
+        probs = shifted / shifted.sum(axis=-1, keepdims=True)
+        return np.array(
+            [int(rng.choice(probs.shape[-1], p=row)) for row in probs], dtype=np.int64
+        )
 
     def generate(
-        self, prompt: np.ndarray, max_new_tokens: int, rng: np.random.Generator | None = None
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int | np.ndarray,
+        rng: np.random.Generator | None = None,
+        prompt_lengths: np.ndarray | None = None,
+        use_cache: bool = True,
+        cache: KVCache | None = None,
+        eos_id: int | None = None,
+        pad_id: int = 0,
     ) -> np.ndarray:
-        """Greedy (or sampled) autoregressive generation for demos/tests."""
-        tokens = np.asarray(prompt).reshape(1, -1)
-        for _ in range(max_new_tokens):
-            window = tokens[:, -self.config.max_seq_len :]
-            logits = self.forward(window).data[0, -1]
-            if rng is None:
-                next_token = int(np.argmax(logits))
-            else:
-                probs = np.exp(logits - logits.max())
-                probs /= probs.sum()
-                next_token = int(rng.choice(len(probs), p=probs))
-            tokens = np.concatenate([tokens, [[next_token]]], axis=1)
-        return tokens[0]
+        """Batched autoregressive generation, O(L) per token via the KV cache.
+
+        Parameters
+        ----------
+        prompt:
+            ``(L,)`` single prompt or ``(B, L)`` batch of right-padded
+            prompts.  A 1-D prompt returns a 1-D output (back-compat).
+        max_new_tokens:
+            Token budget — a scalar, or a ``(B,)`` array of per-row budgets.
+            A row stops decoding (and costs nothing further) once its own
+            budget is spent; the output is sized for the largest budget and
+            short rows pad the tail with ``pad_id``.
+        rng:
+            None for greedy decoding; a Generator samples from the softmax.
+        prompt_lengths:
+            Optional ``(B,)`` valid-token counts for ragged prompts; rows
+            continue generation right after their own prompt.
+        use_cache:
+            True (default) runs the KV-cached incremental path; False keeps
+            the naive full-context recompute (the O(L²) baseline measured by
+            ``bench_serve``).  Requests that cannot fit ``max_seq_len``
+            positions automatically fall back to the naive sliding-window
+            recompute (the historical behaviour) unless an explicit
+            ``cache`` was supplied.
+        cache:
+            Optional preallocated :class:`KVCache` to reuse (the serving
+            engine's slot pool); it is reset before prefill.
+        eos_id:
+            Optional stop token: a row that emits it stops early and pads the
+            rest of its budget with ``pad_id``.
+        pad_id:
+            Filler for positions past a finished row's last token.
+        """
+        prompt = np.asarray(prompt)
+        squeeze = prompt.ndim == 1
+        tokens = prompt.reshape(1, -1) if squeeze else np.asarray(prompt)
+        batch, prompt_len = tokens.shape
+        if prompt_len == 0:
+            raise ValueError("prompt must contain at least one token")
+        if prompt_lengths is None:
+            lengths = np.full(batch, prompt_len, dtype=np.int64)
+        else:
+            lengths = np.asarray(prompt_lengths, dtype=np.int64)
+            if lengths.shape != (batch,):
+                raise ValueError(
+                    f"prompt_lengths must have shape ({batch},), got {lengths.shape}"
+                )
+            if lengths.min() < 1 or lengths.max() > prompt_len:
+                raise ValueError("prompt_lengths must be in [1, prompt.shape[1]]")
+        budgets = np.broadcast_to(
+            np.asarray(max_new_tokens, dtype=np.int64), (batch,)
+        ).copy()
+        if budgets.min() < 0:
+            raise ValueError("max_new_tokens must be non-negative")
+        max_budget = int(budgets.max())
+
+        out = np.full((batch, prompt_len + max_budget), pad_id, dtype=np.int64)
+        out[:, :prompt_len] = tokens
+        for i in range(batch):  # pad slack inside ragged prompts
+            out[i, lengths[i] : prompt_len] = pad_id
+        cur = lengths.copy()
+        active = budgets > 0
+
+        # Long requests degrade gracefully: when no explicit cache was
+        # handed in, a request past max_seq_len falls back to the naive
+        # sliding-window recompute (the historical behaviour) instead of
+        # raising.  An explicit cache means the caller manages capacity.
+        if (
+            use_cache
+            and cache is None
+            and int(lengths.max()) + int(budgets.max()) > self.config.max_seq_len
+        ):
+            use_cache = False
+
+        # Decoding is inference: freeze dropout so the cached and naive
+        # paths emit identical tokens (and cached K/V are noise-free).
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                if use_cache:
+                    self._generate_cached(out, cur, active, budgets, rng, cache, eos_id)
+                else:
+                    self._generate_naive(out, cur, active, budgets, rng, eos_id)
+        finally:
+            if was_training:
+                self.train()
+        return out[0] if squeeze else out
+
+    def _generate_cached(
+        self,
+        out: np.ndarray,
+        cur: np.ndarray,
+        active: np.ndarray,
+        budgets: np.ndarray,
+        rng: np.random.Generator | None,
+        cache: KVCache | None,
+        eos_id: int | None,
+    ) -> None:
+        batch = out.shape[0]
+        max_budget = int(budgets.max())
+        prompt_len = int(cur.max())
+        needed = prompt_len + max_budget
+        if needed > self.config.max_seq_len:
+            raise ValueError(
+                f"cached generation needs {needed} positions but max_seq_len is "
+                f"{self.config.max_seq_len}; shorten the request or use_cache=False "
+                "(sliding-window recompute)"
+            )
+        if not active.any():
+            return
+        if cache is None:
+            cache = self.new_cache(batch, capacity=needed)
+        else:
+            if cache.batch != batch or cache.capacity < needed:
+                raise ValueError(
+                    f"cache (batch={cache.batch}, capacity={cache.capacity}) cannot "
+                    f"hold batch={batch}, {needed} positions"
+                )
+            cache.reset()
+        # Prefill: one full forward over the (right-padded) prompts.  Pad
+        # positions only ever serve as causally-blocked keys, so the plain
+        # causal mask suffices; their cached K/V are invalidated below.
+        logits = self.forward(out[:, :prompt_len], cache=cache).data
+        cache.set_lengths(cur)
+        step_logits = logits[np.arange(batch), cur - 1]
+        for step in range(max_budget):
+            next_tokens = self._select_tokens(step_logits, rng)
+            next_tokens = np.where(active, next_tokens, 0)
+            out[np.arange(batch)[active], cur[active]] = next_tokens[active]
+            cur[active] += 1
+            if eos_id is not None:
+                active &= next_tokens != eos_id
+            active &= budgets > step + 1  # per-row budgets spend independently
+            if not active.any():
+                break
+            # Feed the emitted token (pad for finished rows — their logits
+            # are never read again, but the batch stays rectangular).
+            step_logits = self.forward(next_tokens[:, None], cache=cache).data[:, -1]
+
+    def _generate_naive(
+        self,
+        out: np.ndarray,
+        cur: np.ndarray,
+        active: np.ndarray,
+        budgets: np.ndarray,
+        rng: np.random.Generator | None,
+        eos_id: int | None,
+    ) -> None:
+        batch = out.shape[0]
+        for step in range(int(budgets.max())):
+            if not active.any():
+                break
+            # Window geometry follows the *active* rows: finished rows'
+            # shorter `cur` must neither shrink the window nor (below) index
+            # outside it once the window starts sliding.
+            total = int(cur[active].max())
+            start = max(0, total - self.config.max_seq_len)
+            if start > 0 and not np.all(cur[active] == cur[active][0]):
+                raise ValueError(
+                    "naive sliding-window generation does not support ragged "
+                    "rows past max_seq_len"
+                )
+            window = out[:, start:total]
+            logits = self.forward(window).data
+            read = np.clip(cur - 1 - start, 0, window.shape[1] - 1)
+            step_logits = logits[np.arange(batch), read]
+            next_tokens = self._select_tokens(step_logits, rng)
+            out[np.arange(batch)[active], cur[active]] = next_tokens[active]
+            cur[active] += 1
+            if eos_id is not None:
+                active &= next_tokens != eos_id
+            active &= budgets > step + 1
 
 
 class VisionTransformer(_TransformerBase):

@@ -11,6 +11,7 @@ from repro.pim.hybrid import (
     HybridLinear,
     MagnitudeProtectedLinear,
     attach_hybrid_layers,
+    calibrate_activations,
 )
 from repro.pim.nor_logic import (
     COLUMNS_PER_NOR,
@@ -55,6 +56,7 @@ __all__ = [
     "SfuStats",
     "SpecialFunctionUnit",
     "attach_hybrid_layers",
+    "calibrate_activations",
     "full_adder",
     "multiply_int8",
     "nor",

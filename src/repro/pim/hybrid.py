@@ -25,18 +25,26 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.modules import Module
-from repro.nn.tensor import Tensor
-from repro.quant.quantizer import dequantize, quantize
+from repro.nn.tensor import Tensor, get_default_dtype
+from repro.quant.quantizer import QuantParams, dequantize, quantize
 from repro.rram.cell import CellType, MLC2, SLC
 from repro.rram.crossbar import CrossbarConfig, GemvStats
 from repro.rram.kernels import KernelPolicy
-from repro.rram.mapping import HybridSplit, split_by_rank
+from repro.rram.mapping import HybridSplit, array_footprint, split_by_rank
 from repro.rram.noise import DEFAULT_NOISE, NoiseSpec, apply_multiplicative_noise
 from repro.svd.pipeline import LayerPlan
 
-__all__ = ["HybridLinear", "MagnitudeProtectedLinear", "attach_hybrid_layers"]
+__all__ = [
+    "HybridLinear",
+    "MagnitudeProtectedLinear",
+    "attach_hybrid_layers",
+    "calibrate_activations",
+]
 
 _MODES = ("fast", "crossbar")
+
+#: Bit width of the INT8 activation quantizers in the crossbar path.
+_ACTIVATION_BITS = 8
 
 
 class MagnitudeProtectedLinear(Module):
@@ -115,6 +123,16 @@ class HybridLinear(Module):
         self.in_features = plan.a_matrix.shape[1]
         self.out_features = plan.b_matrix.shape[0]
         self.rank = plan.rank
+        self._arrays_used: int | None = None
+        # Calibrated activation quantization (deploy-time serving path): when
+        # set, crossbar GEMVs reuse these frozen scales instead of rescaling
+        # from each call's min/max — one calibration pass, then stable
+        # per-call behaviour (and no data-dependent scale drift) under load.
+        self._x_params: QuantParams | None = None
+        self._h_params: QuantParams | None = None
+        self._calibrating = False
+        self._x_absmax = 0.0
+        self._h_absmax = 0.0
 
         # INT8 weight quantization (per-tensor, symmetric) for both factors.
         self._a_codes, self._a_params = quantize(plan.a_matrix, num_bits=8)
@@ -159,7 +177,7 @@ class HybridLinear(Module):
     # ------------------------------------------------------------------
     def forward(self, x: Tensor) -> Tensor:
         """Inference pass; gradients do not flow through PIM hardware."""
-        data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=float)
+        data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=get_default_dtype())
         original_shape = data.shape
         flat = data.reshape(-1, original_shape[-1])
         if self.mode == "fast":
@@ -176,9 +194,17 @@ class HybridLinear(Module):
 
     def _forward_crossbar(self, flat: np.ndarray) -> np.ndarray:
         split = self._split
-        # Stage 1: x (INT8) @ A^T on SLC/MLC arrays.
-        x_codes, x_params = quantize(flat, num_bits=8)
-        hidden = np.zeros((flat.shape[0], self.rank))
+        # Intermediate buffers follow the process-wide tensor dtype policy
+        # (float32 under set_default_dtype("float32")) rather than a
+        # hardcoded float64 — forward() wraps the result in a Tensor, which
+        # would down-cast anyway, so wider buffers were pure waste.
+        dtype = get_default_dtype()
+        # Stage 1: x (INT8) @ A^T on SLC/MLC arrays.  Frozen calibration
+        # scales (if present) replace the per-call rescaling.
+        x_codes, x_params = quantize(
+            flat, num_bits=_ACTIVATION_BITS, params=self._active_params("x")
+        )
+        hidden = np.zeros((flat.shape[0], self.rank), dtype=dtype)
         protected = self.plan.protected_ranks
         scale_in = np.asarray(x_params.scale) * np.asarray(self._a_params.scale)
         if split.slc_a is not None:
@@ -187,37 +213,110 @@ class HybridLinear(Module):
             hidden[:, ~protected] = split.mlc_a.gemv(x_codes) * scale_in
 
         # Stage 2: h (requantized INT8) @ B^T.
-        h_codes, h_params = quantize(hidden, num_bits=8)
+        h_codes, h_params = quantize(
+            hidden, num_bits=_ACTIVATION_BITS, params=self._active_params("h")
+        )
         scale_out = np.asarray(h_params.scale) * np.asarray(self._b_params.scale)
-        out = np.zeros((flat.shape[0], self.out_features))
+        out = np.zeros((flat.shape[0], self.out_features), dtype=dtype)
         if split.slc_b is not None:
             out += split.slc_b.gemv(h_codes[:, protected]) * scale_out
         if split.mlc_b is not None:
             out += split.mlc_b.gemv(h_codes[:, ~protected]) * scale_out
+        if self._calibrating:
+            self._x_absmax = max(self._x_absmax, float(np.abs(flat).max(initial=0.0)))
+            self._h_absmax = max(self._h_absmax, float(np.abs(hidden).max(initial=0.0)))
         return out
+
+    def _active_params(self, which: str) -> QuantParams | None:
+        """Frozen calibrated activation params, unless observing/uncalibrated."""
+        if self._calibrating:
+            return None
+        return self._x_params if which == "x" else self._h_params
+
+    # ------------------------------------------------------------------
+    # Activation-scale calibration (serving deployment path)
+    # ------------------------------------------------------------------
+    def begin_calibration(self) -> None:
+        """Start observing activation ranges (crossbar mode).
+
+        While calibrating, forwards fall back to per-call scales and record
+        the absolute max of layer inputs and stage-1 hidden activations.
+        """
+        self._calibrating = True
+        self._x_absmax = 0.0
+        self._h_absmax = 0.0
+
+    def finish_calibration(self) -> None:
+        """Freeze the observed ranges into reusable :class:`QuantParams`."""
+        self._calibrating = False
+        if self._x_absmax > 0.0:
+            self._x_params = self._params_from_absmax(self._x_absmax)
+            self._h_params = self._params_from_absmax(self._h_absmax)
+
+    @staticmethod
+    def _params_from_absmax(absmax: float) -> QuantParams:
+        """Symmetric params covering [-absmax, absmax] at the shared
+        ``_ACTIVATION_BITS`` width used by the crossbar quantize calls."""
+        qmax = 2 ** (_ACTIVATION_BITS - 1) - 1
+        return QuantParams(scale=max(absmax, 1e-12) / qmax, num_bits=_ACTIVATION_BITS)
+
+    def clear_calibration(self) -> None:
+        """Drop frozen activation scales (back to per-call rescaling)."""
+        self._calibrating = False
+        self._x_params = None
+        self._h_params = None
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self._x_params is not None
 
     # ------------------------------------------------------------------
     def arrays_used(self) -> int:
-        """Physical array footprint (crossbar mode only tracks placement)."""
-        if self._split is not None:
-            return self._split.arrays_used
-        # Fast mode: compute the footprint the crossbar placement would use.
-        split = split_by_rank(
-            self._a_codes,
-            self._b_codes,
-            self.plan.protected_ranks,
-            noise=NoiseSpec.noiseless(),
-            config=self.config,
-            mlc_cell=self.mlc_cell,
-            seed=self.seed,
-            policy=self.policy,
-        )
-        return split.arrays_used
+        """Physical array footprint of the SLC/MLC placement.
+
+        The footprint is a pure function of the layer geometry and the
+        protection mask, so it is computed once and cached.  Fast mode used
+        to re-run the full :func:`split_by_rank` crossbar programming (noise
+        draws included) on *every* call just to read the placement counts;
+        now it sums the same :func:`array_footprint` terms analytically.
+        """
+        if self._arrays_used is None:
+            if self._split is not None:
+                self._arrays_used = self._split.arrays_used
+            else:
+                n_protected = int(self.plan.protected_ranks.sum())
+                n_mlc = self.rank - n_protected
+                total = 0
+                if n_protected:
+                    total += array_footprint(n_protected, self.in_features, SLC, self.config)
+                    total += array_footprint(self.out_features, n_protected, SLC, self.config)
+                if n_mlc:
+                    total += array_footprint(n_mlc, self.in_features, self.mlc_cell, self.config)
+                    total += array_footprint(self.out_features, n_mlc, self.mlc_cell, self.config)
+                self._arrays_used = total
+        return self._arrays_used
 
     def merged_stats(self) -> GemvStats:
         if self._split is None:
             return GemvStats()
         return self._split.merged_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the accumulated GEMV operation counts (crossbar mode).
+
+        Used after deploy-time calibration so served-traffic accounting does
+        not include the calibration forward.
+        """
+        if self._split is None:
+            return
+        for mapped in (
+            self._split.slc_a,
+            self._split.mlc_a,
+            self._split.slc_b,
+            self._split.mlc_b,
+        ):
+            if mapped is not None:
+                mapped.stats = GemvStats()
 
     def __repr__(self) -> str:
         return (
@@ -225,6 +324,33 @@ class HybridLinear(Module):
             f"rank={self.rank}, protected={self.plan.protected_ranks.sum()}, "
             f"mode={self.mode!r})"
         )
+
+
+def calibrate_activations(layers, forward_fn) -> int:
+    """Calibrate activation quant scales for deployed :class:`HybridLinear`\\ s.
+
+    ``layers`` is any iterable of HybridLinear (or a name->layer mapping, as
+    returned by :func:`attach_hybrid_layers`); ``forward_fn`` is a nullary
+    callable that pushes representative traffic through the deployed model
+    (e.g. a prefill over calibration prompts).  Afterwards every crossbar
+    GEMV reuses the frozen scales instead of re-deriving them per call —
+    the paper's deploy-time INT8 calibration, and the serving engine's way
+    of keeping quantization behaviour independent of batch composition.
+
+    Returns the number of layers that observed traffic and froze scales.
+    """
+    if isinstance(layers, dict):
+        layers = list(layers.values())
+    else:
+        layers = list(layers)
+    for layer in layers:
+        layer.begin_calibration()
+    try:
+        forward_fn()
+    finally:
+        for layer in layers:
+            layer.finish_calibration()
+    return sum(1 for layer in layers if layer.is_calibrated)
 
 
 def attach_hybrid_layers(

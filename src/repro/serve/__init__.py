@@ -1,0 +1,25 @@
+"""Batched serving over KV-cached decoder inference (`repro.serve`).
+
+The deployment-facing layer of the reproduction: request queue + dynamic
+batching + KV-cache slot pooling over a PIM-deployed
+:class:`~repro.nn.transformer.DecoderLM`.  See
+:mod:`repro.serve.engine` for the hardware correspondence (analog crossbars
+for static GEMVs, cached K/V as the digital-PIM dynamic-GEMM operands).
+"""
+
+from repro.serve.engine import (
+    GenerationRequest,
+    RequestResult,
+    ServingEngine,
+    ServingStats,
+)
+from repro.serve.slots import CacheSlotPool, SlotPoolStats
+
+__all__ = [
+    "CacheSlotPool",
+    "GenerationRequest",
+    "RequestResult",
+    "ServingEngine",
+    "ServingStats",
+    "SlotPoolStats",
+]

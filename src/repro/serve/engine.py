@@ -1,0 +1,435 @@
+"""Batched serving engine over KV-cached decoder inference.
+
+This is the ROADMAP's "serve heavy traffic" layer: a :class:`ServingEngine`
+owns one PIM-deployed :class:`~repro.nn.transformer.DecoderLM` and turns a
+stream of generation requests into dynamically-formed batches that decode
+through the KV cache (O(L) per token — see :mod:`repro.nn.kv_cache`).
+
+Hardware correspondence: the static Q/K/V/proj and FFN projections of the
+served model run through analog SLC/MLC crossbars (``HybridLinear``), while
+the cached K/V prefix plays the role of the paper's digital-PIM dynamic-GEMM
+operands — written once per emitted token and reused every following step.
+Activation quantization scales are *calibrated once at deploy time*
+(:func:`repro.pim.calibrate_activations`) so served traffic never pays, nor
+drifts with, per-call rescaling.
+
+Design notes
+------------
+- Requests enter a FIFO queue via :meth:`ServingEngine.submit`; a batch is
+  cut when ``max_batch_size`` requests are waiting, when the oldest request
+  has waited ``max_wait_s``, or when the caller forces a drain.
+- Prompts inside a batch may have different lengths: they are right-padded
+  and decoded together via the ragged KV-cache path; each row stops at its
+  own budget (or ``eos_id``).
+- KV-cache buffers come from a :class:`~repro.serve.slots.CacheSlotPool`
+  and are recycled across batches.
+- The engine aggregates throughput/latency stats and the deployed layers'
+  :class:`~repro.rram.crossbar.GemvStats`, so served traffic can feed the
+  repo's energy/latency models exactly like the offline studies do.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import no_grad
+from repro.nn.transformer import DecoderLM
+from repro.pim.hybrid import HybridLinear, attach_hybrid_layers, calibrate_activations
+from repro.rram.crossbar import GemvStats
+from repro.serve.slots import CacheSlotPool
+
+__all__ = ["GenerationRequest", "RequestResult", "ServingStats", "ServingEngine"]
+
+
+@dataclass
+class GenerationRequest:
+    """One queued prompt awaiting generation."""
+
+    request_id: int
+    prompt: np.ndarray  # (L,) token ids
+    max_new_tokens: int
+    submitted_at: float
+
+    @property
+    def prompt_len(self) -> int:
+        return int(self.prompt.shape[0])
+
+
+@dataclass
+class RequestResult:
+    """A completed request: prompt + generated continuation + timing."""
+
+    request_id: int
+    prompt: np.ndarray
+    tokens: np.ndarray  # generated continuation only
+    queued_s: float  # submit -> batch start
+    latency_s: float  # submit -> completion
+    batch_size: int  # how many requests shared the batch
+
+    @property
+    def full_sequence(self) -> np.ndarray:
+        return np.concatenate([self.prompt, self.tokens])
+
+
+#: Rolling-window length for per-request/per-batch samples (latency
+#: percentiles, batch-size mix).  Counters stay exact forever; only the
+#: sample windows are bounded so a long-lived engine cannot grow without
+#: bound.
+STATS_WINDOW = 1024
+
+
+@dataclass
+class ServingStats:
+    """Aggregate accounting across every batch the engine has run.
+
+    Scalar counters (requests, tokens, wall-clock) are exact over the
+    engine's lifetime; ``latencies_s`` / ``batch_sizes`` are rolling windows
+    of the most recent ``STATS_WINDOW`` samples.
+    """
+
+    requests_completed: int = 0
+    tokens_generated: int = 0
+    batches: int = 0
+    decode_wall_s: float = 0.0  # time spent inside model forwards
+    latencies_s: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
+    batch_sizes: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.tokens_generated / self.decode_wall_s if self.decode_wall_s else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(np.mean(list(self.latencies_s))) if self.latencies_s else 0.0
+
+    @property
+    def p95_latency_s(self) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(list(self.latencies_s), 95))
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(list(self.batch_sizes))) if self.batch_sizes else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests_completed": self.requests_completed,
+            "tokens_generated": self.tokens_generated,
+            "batches": self.batches,
+            "decode_wall_s": round(self.decode_wall_s, 6),
+            "tokens_per_s": round(self.tokens_per_s, 2),
+            "mean_latency_s": round(self.mean_latency_s, 6),
+            "p95_latency_s": round(self.p95_latency_s, 6),
+            "mean_batch_size": round(self.mean_batch_size, 3),
+        }
+
+
+class ServingEngine:
+    """Dynamic-batching front-end over one (PIM-deployed) decoder.
+
+    Parameters
+    ----------
+    model:
+        The decoder to serve — typically the output of
+        :meth:`ServingEngine.deploy` (hybrid SLC/MLC layers attached), but
+        any :class:`DecoderLM` works (useful for host-only baselines).
+    max_batch_size:
+        Upper bound on requests decoded together.
+    max_wait_s:
+        Dynamic-batching knob: a partial batch is cut once its oldest
+        request has waited this long.  ``0`` serves whatever is queued
+        immediately (latency-optimal); larger values trade queueing latency
+        for fuller batches (throughput-optimal).
+    cache_slots:
+        Size of the KV-cache slot pool (free slots retained across batches).
+    rng:
+        Optional sampling Generator shared by all requests; None = greedy.
+    eos_id / pad_id:
+        Per-row stop token and padding filler for ragged batches.
+    clock:
+        Injectable time source (tests); defaults to ``time.perf_counter``.
+    """
+
+    def __init__(
+        self,
+        model: DecoderLM,
+        max_batch_size: int = 8,
+        max_wait_s: float = 0.0,
+        cache_slots: int = 4,
+        rng: np.random.Generator | None = None,
+        eos_id: int | None = None,
+        pad_id: int = 0,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.model = model
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.rng = rng
+        self.eos_id = eos_id
+        self.pad_id = pad_id
+        self.clock = clock
+        self.slot_pool = CacheSlotPool(model, max_slots=cache_slots)
+        self.stats = ServingStats()
+        self._queue: list[GenerationRequest] = []
+        # Completed-but-unclaimed results, bounded FIFO: oldest unclaimed
+        # results are dropped once the buffer is full (dict preserves
+        # insertion order), so a long-lived engine cannot leak memory when
+        # callers never pop.
+        self._completed: dict[int, RequestResult] = {}
+        self.result_buffer = STATS_WINDOW
+        self._next_id = 0
+        self._hybrid_layers: dict[str, HybridLinear] = {}
+        for name, module in model.named_modules():
+            if isinstance(module, HybridLinear):
+                self._hybrid_layers[name] = module
+
+    # ------------------------------------------------------------------
+    # Deployment helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def deploy(
+        cls,
+        model: DecoderLM,
+        plans: dict,
+        calibration_prompts: np.ndarray | None = None,
+        noise=None,
+        mode: str = "fast",
+        seed: int = 0,
+        policy=None,
+        **engine_kwargs,
+    ) -> "ServingEngine":
+        """Attach hybrid SLC/MLC layers to ``model`` and wrap it in an engine.
+
+        ``plans`` is the gradient-redistribution output (name -> LayerPlan).
+        ``calibration_prompts`` (B, L) are pushed through the deployed model
+        once to freeze activation quantization scales (meaningful for
+        ``mode="crossbar"``; a no-op for the fast Eq. 5 path, which does not
+        quantize activations).
+        """
+        import copy
+
+        deployed = copy.deepcopy(model)
+        attached = attach_hybrid_layers(
+            deployed, plans, noise=noise, mode=mode, seed=seed, policy=policy
+        )
+        if calibration_prompts is not None and mode == "crossbar":
+            prompts = np.atleast_2d(np.asarray(calibration_prompts))
+            # Serving always decodes in eval mode (generate() enforces it);
+            # calibration must observe the same dropout-free activations.
+            deployed.eval()
+
+            def run_calibration() -> None:
+                with no_grad():  # inference-only: skip autograd bookkeeping
+                    deployed(prompts)
+
+            calibrate_activations(attached, run_calibration)
+            # Served-traffic accounting starts from zero: the calibration
+            # forward must not inflate gemv_stats()' energy inputs.
+            for layer in attached.values():
+                layer.reset_stats()
+        return cls(deployed, **engine_kwargs)
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, prompt: np.ndarray, max_new_tokens: int) -> int:
+        """Enqueue one prompt; returns its request id."""
+        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        if prompt.size == 0:
+            raise ValueError("prompt must contain at least one token")
+        if max_new_tokens < 0:
+            raise ValueError(f"max_new_tokens must be >= 0, got {max_new_tokens}")
+        capacity = self.model.config.max_seq_len
+        if prompt.size + max_new_tokens > capacity:
+            raise ValueError(
+                f"request needs {prompt.size + max_new_tokens} positions, "
+                f"model max_seq_len is {capacity}"
+            )
+        request = GenerationRequest(
+            request_id=self._next_id,
+            prompt=prompt,
+            max_new_tokens=int(max_new_tokens),
+            submitted_at=self.clock(),
+        )
+        self._next_id += 1
+        self._queue.append(request)
+        return request.request_id
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def _batch_ready(self) -> bool:
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.max_batch_size:
+            return True
+        return (self.clock() - self._queue[0].submitted_at) >= self.max_wait_s
+
+    def _cut_batch(self) -> list[GenerationRequest]:
+        """Take a FIFO prefix of the queue that fits one KV-cache geometry.
+
+        A batch decodes over ``max(prompt_len) + max(budget)`` positions, so
+        two individually-valid requests (long prompt + short budget, short
+        prompt + long budget) can jointly exceed ``max_seq_len``.  The cut
+        stops *before* the first request that would overflow the joint
+        geometry — it simply starts the next batch — preserving FIFO order.
+        """
+        capacity = self.model.config.max_seq_len
+        batch: list[GenerationRequest] = []
+        width = budget = 0
+        for request in self._queue:
+            if len(batch) >= self.max_batch_size:
+                break
+            new_width = max(width, request.prompt_len)
+            new_budget = max(budget, request.max_new_tokens)
+            if batch and new_width + new_budget > capacity:
+                break
+            batch.append(request)
+            width, budget = new_width, new_budget
+        return batch
+
+    def step(self, force: bool = False) -> list[RequestResult]:
+        """Cut and run one batch if the batching policy says it is ready.
+
+        ``force`` drains a partial batch regardless of ``max_wait_s`` (used
+        by :meth:`run_until_idle`).  Returns [] when nothing ran.  Results
+        are also retained for :meth:`pop_result` until popped.
+        """
+        if not self._queue or not (force or self._batch_ready()):
+            return []
+        batch = self._cut_batch()
+        del self._queue[: len(batch)]
+        results = self._run_batch(batch)
+        for result in results:
+            self._completed[result.request_id] = result
+        while len(self._completed) > self.result_buffer:
+            self._completed.pop(next(iter(self._completed)))
+        return results
+
+    def pop_result(self, request_id: int) -> RequestResult | None:
+        """Claim (and forget) a completed request's result, if any."""
+        return self._completed.pop(request_id, None)
+
+    def run_until_idle(self) -> list[RequestResult]:
+        """Drain the queue completely; returns results in completion order.
+
+        Returned results stay claimable via :meth:`pop_result` too, so a
+        caller draining on behalf of earlier ``submit()`` callers does not
+        destroy their results.
+        """
+        results: list[RequestResult] = []
+        while self._queue:
+            results.extend(self.step(force=True))
+        return results
+
+    def serve(
+        self, prompts: Sequence[np.ndarray], max_new_tokens: int
+    ) -> list[RequestResult]:
+        """Convenience: submit ``prompts`` and drain; results in submit order.
+
+        Any previously queued requests are decoded along the way; their
+        results remain claimable via :meth:`pop_result`.
+        """
+        ids = [self.submit(p, max_new_tokens) for p in prompts]
+        wanted = set(ids)
+        collected: dict[int, RequestResult] = {}
+        while self._queue:
+            for result in self.step(force=True):
+                if result.request_id in wanted:
+                    # Claim eagerly: collecting from step()'s return keeps
+                    # serve() immune to result-buffer eviction on huge runs.
+                    collected[result.request_id] = result
+                    self._completed.pop(result.request_id, None)
+        return [collected[i] for i in ids]
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, batch: list[GenerationRequest]) -> list[RequestResult]:
+        started = self.clock()
+        prompt_lens = np.array([r.prompt_len for r in batch], dtype=np.int64)
+        budgets = np.array([r.max_new_tokens for r in batch], dtype=np.int64)
+        width = int(prompt_lens.max())
+        prompts = np.full((len(batch), width), self.pad_id, dtype=np.int64)
+        for i, request in enumerate(batch):
+            prompts[i, : request.prompt_len] = request.prompt
+
+        cache = self.slot_pool.acquire(len(batch))
+        try:
+            # Per-row budgets: a short-budget row stops decoding once its own
+            # budget is spent instead of riding along to the batch maximum.
+            out = self.model.generate(
+                prompts,
+                max_new_tokens=budgets,
+                rng=self.rng,
+                prompt_lengths=prompt_lens,
+                use_cache=True,
+                cache=cache,
+                eos_id=self.eos_id,
+                pad_id=self.pad_id,
+            )
+        finally:
+            self.slot_pool.release(cache)
+        finished = self.clock()
+
+        results = []
+        for i, request in enumerate(batch):
+            generated = out[i, prompt_lens[i] : prompt_lens[i] + budgets[i]]
+            if self.eos_id is not None:
+                hits = np.nonzero(generated == self.eos_id)[0]
+                if hits.size:
+                    generated = generated[: hits[0] + 1]
+            results.append(
+                RequestResult(
+                    request_id=request.request_id,
+                    prompt=request.prompt,
+                    tokens=np.asarray(generated),
+                    queued_s=started - request.submitted_at,
+                    latency_s=finished - request.submitted_at,
+                    batch_size=len(batch),
+                )
+            )
+        self._record(results, finished - started)
+        return results
+
+    def _record(self, results: list[RequestResult], wall_s: float) -> None:
+        self.stats.batches += 1
+        self.stats.decode_wall_s += wall_s
+        self.stats.batch_sizes.append(len(results))
+        for result in results:
+            self.stats.requests_completed += 1
+            self.stats.tokens_generated += int(result.tokens.size)
+            self.stats.latencies_s.append(result.latency_s)
+
+    # ------------------------------------------------------------------
+    # Hardware accounting
+    # ------------------------------------------------------------------
+    def gemv_stats(self) -> GemvStats:
+        """Merged crossbar operation counts across all deployed layers.
+
+        Crossbar-mode deployments accumulate ADC conversions, wordline
+        activations etc. for every served token; feed this to the
+        :mod:`repro.arch` energy/latency models to cost served traffic.
+        (Fast-mode layers perform no bit-serial simulation, so their stats
+        stay zero.)
+        """
+        total = GemvStats()
+        for layer in self._hybrid_layers.values():
+            total.merge(layer.merged_stats())
+        return total
+
+    @property
+    def hybrid_layers(self) -> dict[str, HybridLinear]:
+        return dict(self._hybrid_layers)
+
+    def is_pim_deployed(self) -> bool:
+        return bool(self._hybrid_layers)

@@ -1,0 +1,76 @@
+"""KV-cache slot pool: preallocated decode buffers reused across batches.
+
+Serving traffic churns through many short-lived generation batches; without
+pooling, every batch would reallocate ``num_layers * 2`` multi-megabyte K/V
+buffers.  :class:`CacheSlotPool` keeps a bounded set of :class:`KVCache`
+objects keyed by batch width, hands them out per serving batch, and evicts
+the least-recently-used free slot when the pool is full — the software
+analogue of a fixed digital-PIM K/V region being re-partitioned between
+request batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.kv_cache import KVCache
+from repro.nn.transformer import DecoderLM
+
+__all__ = ["CacheSlotPool", "SlotPoolStats"]
+
+
+@dataclass
+class SlotPoolStats:
+    """Allocation accounting for a :class:`CacheSlotPool`."""
+
+    hits: int = 0  # acquire() satisfied by a pooled slot
+    misses: int = 0  # acquire() had to allocate fresh buffers
+    evictions: int = 0  # pooled slots dropped to make room
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+
+class CacheSlotPool:
+    """Bounded LRU pool of :class:`KVCache` slots for one served model.
+
+    Parameters
+    ----------
+    model:
+        The decoder whose geometry (layers / heads / head_dim / max_seq_len)
+        sizes every slot.
+    max_slots:
+        Maximum number of *free* caches retained; in-flight caches are not
+        counted (the engine bounds those via its batch size).
+    """
+
+    def __init__(self, model: DecoderLM, max_slots: int = 4) -> None:
+        if max_slots < 1:
+            raise ValueError(f"max_slots must be >= 1, got {max_slots}")
+        self._model = model
+        self.max_slots = max_slots
+        self.stats = SlotPoolStats()
+        # LRU order: index 0 is the least recently released.
+        self._free: list[KVCache] = []
+
+    def acquire(self, batch: int) -> KVCache:
+        """A reset cache with ``batch`` rows (pooled if one matches)."""
+        for i, cache in enumerate(self._free):
+            if cache.batch == batch:
+                self.stats.hits += 1
+                cache = self._free.pop(i)
+                cache.reset()
+                return cache
+        self.stats.misses += 1
+        return self._model.new_cache(batch)
+
+    def release(self, cache: KVCache) -> None:
+        """Return a cache to the pool, evicting the LRU slot if full."""
+        if len(self._free) >= self.max_slots:
+            self._free.pop(0)
+            self.stats.evictions += 1
+        self._free.append(cache)
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)

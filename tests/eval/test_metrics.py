@@ -85,3 +85,95 @@ class _ArgmaxModel:
         from repro.nn import Tensor
 
         return Tensor(np.zeros((len(x), 2)))
+
+
+class TestEvaluateLm:
+    """Regression tests for token-weighted (not sequence-weighted) mean NLL."""
+
+    @staticmethod
+    def _tiny_lm():
+        from repro.nn import DecoderLM, TransformerConfig
+
+        return DecoderLM(
+            TransformerConfig(
+                vocab_size=20,
+                d_model=16,
+                num_heads=2,
+                num_layers=1,
+                d_ff=32,
+                max_seq_len=10,
+                seed=3,
+            )
+        )
+
+    @staticmethod
+    def _manual_token_nll(model, inputs, targets, pad_id):
+        from repro.nn import no_grad
+
+        with no_grad():
+            log_probs = model(inputs).log_softmax(axis=-1).data
+        mask = targets != pad_id
+        b, t = np.nonzero(mask)
+        return float(-log_probs[b, t, targets[mask]].sum() / mask.sum())
+
+    def test_batch_size_invariant_with_ragged_last_batch(self):
+        """Mean NLL must not depend on how the dataset is batched."""
+        from repro.eval import evaluate_lm
+        from repro.nn import ArrayDataset
+
+        rng = np.random.default_rng(0)
+        model = self._tiny_lm()
+        inputs = rng.integers(1, 20, size=(7, 8))
+        targets = rng.integers(1, 20, size=(7, 8))
+        data = ArrayDataset(inputs, targets)
+        full = evaluate_lm(model, data, batch_size=7)
+        ragged = evaluate_lm(model, data, batch_size=3)  # batches of 3, 3, 1
+        assert full == pytest.approx(ragged, rel=1e-12)
+
+    def test_padded_sequences_score_tokens_not_sequences(self):
+        """With pad_id, rows contribute their valid tokens — a short row in a
+        ragged final batch must not carry the same weight as a full one."""
+        from repro.eval import evaluate_lm
+        from repro.nn import ArrayDataset
+
+        rng = np.random.default_rng(1)
+        model = self._tiny_lm()
+        inputs = rng.integers(1, 20, size=(5, 8))
+        targets = rng.integers(1, 20, size=(5, 8))
+        targets[3, 4:] = 0  # ragged rows, pad_id = 0
+        targets[4, 2:] = 0
+        data = ArrayDataset(inputs, targets)
+
+        expected = self._manual_token_nll(model, inputs, targets, pad_id=0)
+        for batch_size in (5, 2, 1):
+            got = evaluate_lm(model, data, batch_size=batch_size, pad_id=0)
+            assert got == pytest.approx(expected, rel=1e-12), batch_size
+
+        # The old sequence-weighted mean over ragged batches is measurably
+        # different — that skew is what this fix removes.
+        from repro.nn import no_grad
+        from repro.nn.losses import lm_cross_entropy
+
+        seq_weighted_total, seq_count = 0.0, 0
+        with no_grad():
+            for start in range(0, 5, 2):
+                batch_in = inputs[start : start + 2]
+                batch_tg = targets[start : start + 2]
+                loss = lm_cross_entropy(model(batch_in), batch_tg)
+                seq_weighted_total += float(loss.data) * len(batch_in)
+                seq_count += len(batch_in)
+        old_style = seq_weighted_total / seq_count
+        assert old_style != pytest.approx(expected, rel=1e-6)
+
+    def test_all_pad_batch_is_skipped(self):
+        from repro.eval import evaluate_lm
+        from repro.nn import ArrayDataset
+
+        rng = np.random.default_rng(2)
+        model = self._tiny_lm()
+        inputs = rng.integers(1, 20, size=(3, 6))
+        targets = rng.integers(1, 20, size=(3, 6))
+        targets[2, :] = 0  # final single-row batch fully padded
+        data = ArrayDataset(inputs, targets)
+        expected = self._manual_token_nll(model, inputs, targets, pad_id=0)
+        assert evaluate_lm(model, data, batch_size=2, pad_id=0) == pytest.approx(expected)

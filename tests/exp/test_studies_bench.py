@@ -35,3 +35,43 @@ class TestBenchKernels:
             assert value[key]["batch"] == 64
             assert value[key]["out_features"] == 256
         assert "fig12_smoke_wall_s" not in value
+
+
+SERVE_TINY = {
+    "batches": (1,),
+    "prompt_len": 4,
+    "new_tokens": 6,
+    "reps": 1,
+    "d_model": 16,
+    "num_heads": 2,
+    "num_layers": 1,
+    "d_ff": 32,
+    "max_seq_len": 16,
+    "vocab_size": 32,
+    "engine_requests": 3,
+    "engine_max_batch": 2,
+    "engine_new_tokens": 4,
+}
+
+
+class TestBenchServe:
+    def test_registered_with_smoke_config(self):
+        defn = available_experiments()["bench_serve"]
+        assert defn.smoke  # CI runs it via --smoke
+
+    def test_tiny_run_payload_shape(self):
+        result = Runner(use_cache=False).run(
+            ExperimentSpec("bench_serve", params=SERVE_TINY)
+        )
+        value = result.value
+        assert len(value["grid"]) == 1
+        row = value["grid"][0]
+        assert row["naive_tok_s"] > 0 and row["cached_tok_s"] > 0
+        # The gated large point is always measured, even off-grid.
+        assert value["large"]["batch"] == 8
+        assert value["large"]["prompt_len"] == 16
+        engine = value["engine"]
+        assert engine["requests_completed"] == 3
+        assert engine["tokens_generated"] == 12
+        assert engine["tokens_per_s"] > 0
+        assert "slot_pool" in engine
