@@ -240,23 +240,144 @@ def _engine_throughput(model, params: dict[str, Any], rng: np.random.Generator) 
     payload = engine.stats.as_dict()
     payload["slot_pool"] = engine.slot_pool.stats.as_dict()
     payload["max_batch_size"] = max_batch
+    payload["scheduler"] = engine.scheduler
     return payload
+
+
+def _mixed_trace(
+    model, num_requests: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, int]]:
+    """A production-shaped request mix: mostly short, every 4th one long.
+
+    Deterministic skew (position, not chance, decides which requests are
+    long) so static scheduling reliably pays the head-of-line cost the
+    continuous scheduler is built to avoid.  Geometry scales with the
+    model so shrunken custom configs (tiny test models) stay admissible.
+    """
+    capacity = model.config.max_seq_len
+    max_prompt = max(2, min(16, capacity // 4))
+    headroom = capacity - max_prompt  # largest admissible budget
+    long_hi = max(2, headroom - 2)
+    long_lo = max(1, long_hi - 6)
+    short_hi = max(2, min(8, headroom // 5))
+    short_lo = min(3, short_hi)
+    prompt_lo = max(2, max_prompt // 4)
+    trace = []
+    for i in range(num_requests):
+        prompt_len = int(rng.integers(prompt_lo, max_prompt + 1))
+        if i % 4 == 3:
+            budget = int(rng.integers(long_lo, long_hi + 1))
+        else:
+            budget = int(rng.integers(short_lo, short_hi + 1))
+        trace.append(
+            (rng.integers(0, model.config.vocab_size, size=prompt_len), budget)
+        )
+    return trace
+
+
+def _run_trace(
+    model, trace, scheduler: str, max_batch: int, reps: int
+) -> tuple[dict[str, Any], list]:
+    """Submit the whole trace up front and drain; wall-clocked end to end.
+
+    Best-of-``reps`` (fresh engine per rep) so the CI gate compares the
+    schedulers' structural behaviour, not one noisy run on a shared runner.
+    """
+    from repro.serve import ServingEngine
+
+    best_payload: dict[str, Any] | None = None
+    ordered: list = []
+    for rep in range(max(1, reps)):
+        engine = ServingEngine(
+            model, max_batch_size=max_batch, max_wait_s=0.0, scheduler=scheduler
+        )
+        ids = [engine.submit(prompt, budget) for prompt, budget in trace]
+        start = time.perf_counter()
+        results = {r.request_id: r for r in engine.run_until_idle()}
+        wall_s = time.perf_counter() - start
+        tokens = sum(int(results[rid].tokens.size) for rid in ids)
+        stats = engine.stats
+        payload = {
+            "scheduler": scheduler,
+            "tokens": tokens,
+            "wall_s": round(wall_s, 4),
+            "tok_s": round(tokens / wall_s, 1),
+            "mean_ttft_s": round(stats.mean_ttft_s, 6),
+            "p95_ttft_s": round(stats.p95_ttft_s, 6),
+            "mean_tpot_s": round(stats.mean_tpot_s, 6),
+            "mean_latency_s": round(stats.mean_latency_s, 6),
+            "mean_batch_size": round(stats.mean_batch_size, 2),
+        }
+        if best_payload is None or payload["tok_s"] > best_payload["tok_s"]:
+            best_payload = payload
+        if rep == 0:
+            ordered = [results[rid] for rid in ids]  # parity-checked by caller
+    return best_payload, ordered
+
+
+def _trace_comparison(model, params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Static vs continuous scheduling on the same mixed-length trace.
+
+    Correctness rides along: both schedulers must emit, per request,
+    exactly what a one-shot ``DecoderLM.generate`` emits for that prompt
+    and budget.
+    """
+    num_requests = int(params.get("trace_requests", 24))
+    max_batch = int(params.get("trace_max_batch", 8))
+    reps = int(params.get("trace_reps", 2))
+    rng = np.random.default_rng(seed + 1)
+    trace = _mixed_trace(model, num_requests, rng)
+
+    static, static_results = _run_trace(model, trace, "static", max_batch, reps)
+    continuous, continuous_results = _run_trace(model, trace, "continuous", max_batch, reps)
+
+    for i, (prompt, budget) in enumerate(trace):
+        solo = model.generate(prompt, budget)[len(prompt) :]
+        for label, result in (("static", static_results[i]), ("continuous", continuous_results[i])):
+            if not np.array_equal(result.tokens, solo):
+                raise AssertionError(
+                    f"{label} scheduling diverged from one-shot generate on "
+                    f"trace request {i} (prompt_len={len(prompt)}, budget={budget})"
+                )
+
+    return {
+        "num_requests": num_requests,
+        "max_batch_size": max_batch,
+        "long_every": 4,
+        "static": static,
+        "continuous": continuous,
+        "speedup": round(continuous["tok_s"] / static["tok_s"], 2),
+        "ttft_ratio": round(
+            continuous["mean_ttft_s"] / static["mean_ttft_s"], 4
+        )
+        if static["mean_ttft_s"]
+        else 0.0,
+    }
 
 
 @experiment(
     "bench_serve",
-    smoke={"batches": (8,), "reps": 1, "engine_requests": 8},
+    smoke={
+        "batches": (8,),
+        "reps": 1,
+        "engine_requests": 8,
+        "trace_requests": 16,
+        "trace_max_batch": 4,
+    },
 )
 def bench_serve(params: dict[str, Any], seed: int) -> dict[str, Any]:
     """Decode-path timings: KV-cached incremental vs naive O(L²) recompute.
 
     Times ``DecoderLM.generate`` under both paths over a batch grid (greedy,
-    correctness cross-checked at every point) and measures end-to-end
+    correctness cross-checked at every point), measures end-to-end
     :class:`~repro.serve.ServingEngine` throughput over a ragged request
-    stream with dynamic batching.  The payload lands in ``BENCH_serve.json``
-    (written by ``benchmarks/bench_serve.py`` and the CI smoke job), which
-    gates: cached decode must never be slower than naive recompute at the
-    large point.
+    stream, and replays a mixed-length trace under static vs continuous
+    scheduling (per-request outputs cross-checked against one-shot
+    generation).  The payload lands in ``BENCH_serve.json`` (written by
+    ``benchmarks/bench_serve.py`` and the CI smoke job), which gates:
+    cached decode must never be slower than naive recompute at the large
+    point, and continuous scheduling must beat static by >= 1.3x tokens/s
+    with strictly lower mean TTFT on the trace.
     """
     batches = tuple(params.get("batches", SERVE_BATCHES))
     prompt_len = int(params.get("prompt_len", SERVE_LARGE_POINT["prompt_len"]))
@@ -304,4 +425,5 @@ def bench_serve(params: dict[str, Any], seed: int) -> dict[str, Any]:
         "grid": grid,
         "large": large,
         "engine": _engine_throughput(model, params, rng),
+        "trace": _trace_comparison(model, params, seed),
     }

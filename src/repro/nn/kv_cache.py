@@ -15,6 +15,15 @@ The cache is batched and supports *ragged* rows (per-row valid lengths),
 which is what the serving engine (:mod:`repro.serve`) needs to batch
 requests whose prompts differ in length: rows append at their own write
 positions and expose a key-validity mask for attention.
+
+For iteration-level (continuous) batching the cache additionally supports
+*row-level* operations on a live cache: :meth:`rows_view` /
+:meth:`row_view` hand out zero-copy views over a contiguous row range
+(basic numpy slicing, so writes land in the parent buffers), letting one
+request prefill into its own row while other rows are mid-decode;
+:meth:`copy_row` relocates a row's valid prefix (swap-with-last
+compaction when a finished request retires); :meth:`clear_row` retires a
+row by invalidating its prefix without touching the buffers.
 """
 
 from __future__ import annotations
@@ -87,6 +96,62 @@ class KVCache:
         return _LayerSlot(self, index)
 
     # ------------------------------------------------------------------
+    # Row-level operations (continuous batching)
+    # ------------------------------------------------------------------
+    def rows_view(self, start: int, stop: int) -> "KVCache":
+        """Zero-copy view over rows ``[start, stop)`` of this cache.
+
+        The view shares the parent's K/V buffers *and* its ``lengths``
+        array (basic numpy slicing), so appends/advances through the view
+        mutate the parent rows in place.  This is how the continuous
+        scheduler prefills one request into its own row (a 1-row view)
+        and decodes the live-row prefix (a ``[0, n_live)`` view) while the
+        remaining rows stay untouched.
+        """
+        if not (0 <= start < stop <= self.batch):
+            raise ValueError(
+                f"rows_view [{start}, {stop}) out of range for batch {self.batch}"
+            )
+        view = object.__new__(KVCache)
+        view.num_layers = self.num_layers
+        view.batch = stop - start
+        view.num_heads = self.num_heads
+        view.head_dim = self.head_dim
+        view.capacity = self.capacity
+        view.keys = [k[start:stop] for k in self.keys]
+        view.values = [v[start:stop] for v in self.values]
+        view.lengths = self.lengths[start:stop]
+        return view
+
+    def row_view(self, row: int) -> "KVCache":
+        """Zero-copy single-row view (see :meth:`rows_view`)."""
+        return self.rows_view(row, row + 1)
+
+    def copy_row(self, src: int, dst: int) -> None:
+        """Relocate row ``src``'s valid prefix (K/V + length) into ``dst``.
+
+        Used by swap-with-last compaction when a finished request retires
+        from the middle of the live-row prefix.  Only the valid prefix is
+        copied; ``src``'s buffers are left as-is (cleared separately via
+        :meth:`clear_row`).
+        """
+        if not (0 <= src < self.batch and 0 <= dst < self.batch):
+            raise ValueError(f"rows ({src}, {dst}) out of range for batch {self.batch}")
+        if src == dst:
+            return
+        valid = int(self.lengths[src])
+        for k_buf, v_buf in zip(self.keys, self.values):
+            k_buf[dst, :, :valid] = k_buf[src, :, :valid]
+            v_buf[dst, :, :valid] = v_buf[src, :, :valid]
+        self.lengths[dst] = valid
+
+    def clear_row(self, row: int) -> None:
+        """Retire one row: invalidate its prefix (buffers are reused)."""
+        if not (0 <= row < self.batch):
+            raise ValueError(f"row {row} out of range for batch {self.batch}")
+        self.lengths[row] = 0
+
+    # ------------------------------------------------------------------
     def append(self, layer: int, k_new: np.ndarray, v_new: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Write ``T`` new tokens per row at each row's current length.
 
@@ -143,7 +208,9 @@ class KVCache:
             raise ValueError(f"lengths must have shape ({self.batch},), got {lengths.shape}")
         if lengths.min(initial=0) < 0 or lengths.max(initial=0) > self.capacity:
             raise ValueError("lengths out of range for cache capacity")
-        self.lengths = lengths.copy()
+        # In-place write (not rebinding) so row views created via
+        # rows_view() stay coherent with the parent cache.
+        self.lengths[...] = lengths
 
     def key_padding_mask(self, total: int) -> np.ndarray | None:
         """Boolean (B, total) mask, True where a key slot is *invalid*.

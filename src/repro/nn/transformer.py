@@ -283,7 +283,24 @@ class DecoderLM(_TransformerBase):
             capacity=min(capacity or self.config.max_seq_len, self.config.max_seq_len),
         )
 
-    def _select_tokens(
+    def prefill(self, tokens: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Run an aligned prompt through ``cache``; return last-position logits.
+
+        ``tokens`` is ``(B, L)`` (or ``(L,)``, treated as one row) of
+        *exact-length* prompts for a cache whose rows are empty.  This is
+        the admission path of the continuous scheduler: one request
+        prefills into its own row view of a live shared cache while other
+        rows are mid-decode.  Returns ``(B, vocab)`` logits for the last
+        prompt position — exactly the logits :meth:`generate` uses to
+        select the first generated token, so a scheduler built on this
+        emits token-for-token what one-shot generation emits.
+        """
+        tokens = np.atleast_2d(np.asarray(tokens))
+        if int(cache.lengths.max(initial=0)) != 0:
+            raise ValueError("prefill requires empty cache rows (reset or cleared)")
+        return self.forward(tokens, cache=cache).data[:, -1]
+
+    def select_tokens(
         self, logits: np.ndarray, rng: np.random.Generator | None
     ) -> np.ndarray:
         """Greedy argmax (rng=None) or per-row categorical sampling."""
@@ -433,7 +450,7 @@ class DecoderLM(_TransformerBase):
         cache.set_lengths(cur)
         step_logits = logits[np.arange(batch), cur - 1]
         for step in range(max_budget):
-            next_tokens = self._select_tokens(step_logits, rng)
+            next_tokens = self.select_tokens(step_logits, rng)
             next_tokens = np.where(active, next_tokens, 0)
             out[np.arange(batch)[active], cur[active]] = next_tokens[active]
             cur[active] += 1
@@ -473,7 +490,7 @@ class DecoderLM(_TransformerBase):
             logits = self.forward(window).data
             read = np.clip(cur - 1 - start, 0, window.shape[1] - 1)
             step_logits = logits[np.arange(batch), read]
-            next_tokens = self._select_tokens(step_logits, rng)
+            next_tokens = self.select_tokens(step_logits, rng)
             out[np.arange(batch)[active], cur[active]] = next_tokens[active]
             cur[active] += 1
             if eos_id is not None:

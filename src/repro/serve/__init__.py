@@ -1,25 +1,33 @@
 """Batched serving over KV-cached decoder inference (`repro.serve`).
 
-The deployment-facing layer of the reproduction: request queue + dynamic
-batching + KV-cache slot pooling over a PIM-deployed
-:class:`~repro.nn.transformer.DecoderLM`.  See
-:mod:`repro.serve.engine` for the hardware correspondence (analog crossbars
-for static GEMVs, cached K/V as the digital-PIM dynamic-GEMM operands).
+The deployment-facing layer of the reproduction: request queue +
+continuous (iteration-level) or static batching + KV-cache slot pooling
+over a PIM-deployed :class:`~repro.nn.transformer.DecoderLM`.  See
+:mod:`repro.serve.engine` for the hardware correspondence (analog
+crossbars for static GEMVs, cached K/V as the digital-PIM dynamic-GEMM
+operands) and :mod:`repro.serve.continuous` for the iteration-level
+scheduler.
 """
 
+from repro.serve.continuous import ContinuousScheduler
 from repro.serve.engine import (
-    GenerationRequest,
-    RequestResult,
+    SCHEDULERS,
     ServingEngine,
     ServingStats,
 )
-from repro.serve.slots import CacheSlotPool, SlotPoolStats
+from repro.serve.requests import GenerationRequest, RequestResult, TokenCallback
+from repro.serve.slots import CacheSlotPool, RowSlotManager, RowSlotStats, SlotPoolStats
 
 __all__ = [
     "CacheSlotPool",
+    "ContinuousScheduler",
     "GenerationRequest",
     "RequestResult",
+    "RowSlotManager",
+    "RowSlotStats",
+    "SCHEDULERS",
     "ServingEngine",
     "ServingStats",
     "SlotPoolStats",
+    "TokenCallback",
 ]

@@ -2,30 +2,52 @@
 
 This is the ROADMAP's "serve heavy traffic" layer: a :class:`ServingEngine`
 owns one PIM-deployed :class:`~repro.nn.transformer.DecoderLM` and turns a
-stream of generation requests into dynamically-formed batches that decode
-through the KV cache (O(L) per token — see :mod:`repro.nn.kv_cache`).
+stream of generation requests into decode batches through the KV cache
+(O(L) per token — see :mod:`repro.nn.kv_cache`), under one of two
+scheduling policies:
+
+``continuous`` (default)
+    Iteration-level batching (:class:`~repro.serve.continuous.ContinuousScheduler`):
+    the in-flight batch grows and shrinks token-by-token — new requests
+    join mid-flight with a prefill into a free cache row, finished rows
+    retire and are compacted immediately.  One long generation no longer
+    stalls short requests queued behind it.
+
+``static``
+    The historical all-or-nothing path: a batch is cut from the queue,
+    decoded to completion via one ``DecoderLM.generate`` call, and only
+    then is the queue consulted again.  Kept as a policy option (and as
+    the baseline the serving benchmark measures continuous batching
+    against).
 
 Hardware correspondence: the static Q/K/V/proj and FFN projections of the
 served model run through analog SLC/MLC crossbars (``HybridLinear``), while
 the cached K/V prefix plays the role of the paper's digital-PIM dynamic-GEMM
 operands — written once per emitted token and reused every following step.
-Activation quantization scales are *calibrated once at deploy time*
+Because the hybrid SLC/MLC mapping is deployed once, admitting a request
+mid-flight costs only a prefill — never a crossbar reprogram.  Activation
+quantization scales are *calibrated once at deploy time*
 (:func:`repro.pim.calibrate_activations`) so served traffic never pays, nor
 drifts with, per-call rescaling.
 
 Design notes
 ------------
-- Requests enter a FIFO queue via :meth:`ServingEngine.submit`; a batch is
-  cut when ``max_batch_size`` requests are waiting, when the oldest request
-  has waited ``max_wait_s``, or when the caller forces a drain.
-- Prompts inside a batch may have different lengths: they are right-padded
-  and decoded together via the ragged KV-cache path; each row stops at its
-  own budget (or ``eos_id``).
+- Requests enter a FIFO queue via :meth:`ServingEngine.submit`; work starts
+  when ``max_batch_size`` requests are waiting, when the oldest request has
+  waited ``max_wait_s``, or when the caller forces a drain.  Under the
+  continuous policy, once rows are live any queued request is admitted the
+  moment a row frees up (subject to the optional ``max_tokens`` budget).
+- Prompts of different lengths decode together via the ragged KV-cache
+  path; each request stops at its own budget (or ``eos_id``).
 - KV-cache buffers come from a :class:`~repro.serve.slots.CacheSlotPool`
-  and are recycled across batches.
-- The engine aggregates throughput/latency stats and the deployed layers'
-  :class:`~repro.rram.crossbar.GemvStats`, so served traffic can feed the
-  repo's energy/latency models exactly like the offline studies do.
+  and are recycled across batches / busy periods.
+- All timing — including ``GenerationRequest.submitted_at`` and every
+  TTFT/TPOT sample — goes through the injectable ``clock``, so scheduler
+  tests are fully deterministic.
+- The engine aggregates throughput/latency/TTFT/TPOT stats and the
+  deployed layers' :class:`~repro.rram.crossbar.GemvStats`, so served
+  traffic can feed the repo's energy/latency models exactly like the
+  offline studies do.
 """
 
 from __future__ import annotations
@@ -41,62 +63,56 @@ from repro.nn.tensor import no_grad
 from repro.nn.transformer import DecoderLM
 from repro.pim.hybrid import HybridLinear, attach_hybrid_layers, calibrate_activations
 from repro.rram.crossbar import GemvStats
+from repro.serve.continuous import ContinuousScheduler
+from repro.serve.requests import GenerationRequest, RequestResult, TokenCallback
 from repro.serve.slots import CacheSlotPool
 
-__all__ = ["GenerationRequest", "RequestResult", "ServingStats", "ServingEngine"]
+__all__ = [
+    "GenerationRequest",
+    "RequestResult",
+    "ServingStats",
+    "ServingEngine",
+    "SCHEDULERS",
+]
 
-
-@dataclass
-class GenerationRequest:
-    """One queued prompt awaiting generation."""
-
-    request_id: int
-    prompt: np.ndarray  # (L,) token ids
-    max_new_tokens: int
-    submitted_at: float
-
-    @property
-    def prompt_len(self) -> int:
-        return int(self.prompt.shape[0])
-
-
-@dataclass
-class RequestResult:
-    """A completed request: prompt + generated continuation + timing."""
-
-    request_id: int
-    prompt: np.ndarray
-    tokens: np.ndarray  # generated continuation only
-    queued_s: float  # submit -> batch start
-    latency_s: float  # submit -> completion
-    batch_size: int  # how many requests shared the batch
-
-    @property
-    def full_sequence(self) -> np.ndarray:
-        return np.concatenate([self.prompt, self.tokens])
-
+#: Valid scheduling policies for :class:`ServingEngine`.
+SCHEDULERS = ("continuous", "static")
 
 #: Rolling-window length for per-request/per-batch samples (latency
-#: percentiles, batch-size mix).  Counters stay exact forever; only the
-#: sample windows are bounded so a long-lived engine cannot grow without
-#: bound.
+#: percentiles, TTFT/TPOT, batch-size mix).  Counters stay exact forever;
+#: only the sample windows are bounded so a long-lived engine cannot grow
+#: without bound.
 STATS_WINDOW = 1024
+
+
+def _window_mean(samples: deque) -> float:
+    return float(np.mean(list(samples))) if samples else 0.0
+
+
+def _window_p95(samples: deque) -> float:
+    return float(np.percentile(list(samples), 95)) if samples else 0.0
 
 
 @dataclass
 class ServingStats:
-    """Aggregate accounting across every batch the engine has run.
+    """Aggregate accounting across everything the engine has decoded.
 
-    Scalar counters (requests, tokens, wall-clock) are exact over the
-    engine's lifetime; ``latencies_s`` / ``batch_sizes`` are rolling windows
-    of the most recent ``STATS_WINDOW`` samples.
+    Scalar counters (requests, tokens, wall-clock, batches/iterations) are
+    exact over the engine's lifetime; the ``*_s`` / ``batch_sizes`` deques
+    are rolling windows of the most recent ``STATS_WINDOW`` samples.
+    ``batches`` counts static batch runs; ``iterations`` counts continuous
+    scheduler steps.  TTFT/TPOT definitions are documented on
+    :class:`~repro.serve.requests.RequestResult`.
     """
 
     requests_completed: int = 0
     tokens_generated: int = 0
     batches: int = 0
+    iterations: int = 0
     decode_wall_s: float = 0.0  # time spent inside model forwards
     latencies_s: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
+    ttfts_s: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
+    tpots_s: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
     batch_sizes: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
 
     @property
@@ -105,27 +121,41 @@ class ServingStats:
 
     @property
     def mean_latency_s(self) -> float:
-        return float(np.mean(list(self.latencies_s))) if self.latencies_s else 0.0
+        return _window_mean(self.latencies_s)
 
     @property
     def p95_latency_s(self) -> float:
-        if not self.latencies_s:
-            return 0.0
-        return float(np.percentile(list(self.latencies_s), 95))
+        return _window_p95(self.latencies_s)
+
+    @property
+    def mean_ttft_s(self) -> float:
+        return _window_mean(self.ttfts_s)
+
+    @property
+    def p95_ttft_s(self) -> float:
+        return _window_p95(self.ttfts_s)
+
+    @property
+    def mean_tpot_s(self) -> float:
+        return _window_mean(self.tpots_s)
 
     @property
     def mean_batch_size(self) -> float:
-        return float(np.mean(list(self.batch_sizes))) if self.batch_sizes else 0.0
+        return _window_mean(self.batch_sizes)
 
     def as_dict(self) -> dict:
         return {
             "requests_completed": self.requests_completed,
             "tokens_generated": self.tokens_generated,
             "batches": self.batches,
+            "iterations": self.iterations,
             "decode_wall_s": round(self.decode_wall_s, 6),
             "tokens_per_s": round(self.tokens_per_s, 2),
             "mean_latency_s": round(self.mean_latency_s, 6),
             "p95_latency_s": round(self.p95_latency_s, 6),
+            "mean_ttft_s": round(self.mean_ttft_s, 6),
+            "p95_ttft_s": round(self.p95_ttft_s, 6),
+            "mean_tpot_s": round(self.mean_tpot_s, 6),
             "mean_batch_size": round(self.mean_batch_size, 3),
         }
 
@@ -140,20 +170,34 @@ class ServingEngine:
         :meth:`ServingEngine.deploy` (hybrid SLC/MLC layers attached), but
         any :class:`DecoderLM` works (useful for host-only baselines).
     max_batch_size:
-        Upper bound on requests decoded together.
+        Upper bound on requests decoded together (cache rows for the
+        continuous scheduler).
     max_wait_s:
-        Dynamic-batching knob: a partial batch is cut once its oldest
-        request has waited this long.  ``0`` serves whatever is queued
-        immediately (latency-optimal); larger values trade queueing latency
-        for fuller batches (throughput-optimal).
+        Batching knob: an idle engine starts work once its oldest request
+        has waited this long (or ``max_batch_size`` are queued).  ``0``
+        serves whatever is queued immediately (latency-optimal); larger
+        values trade queueing latency for fuller batches.  Under the
+        continuous policy this only gates *starting from idle* — once rows
+        are live, new requests join the moment a row frees up.
+    scheduler:
+        ``"continuous"`` (default, iteration-level batching) or
+        ``"static"`` (all-or-nothing batches; the historical path).
+    max_tokens:
+        Optional admission token budget (continuous only): total KV
+        positions (prompt + full budget) reserved by in-flight requests
+        never exceeds this.  ``None`` = bounded by ``max_batch_size`` and
+        the model's ``max_seq_len`` alone.
     cache_slots:
-        Size of the KV-cache slot pool (free slots retained across batches).
+        Size of the KV-cache slot pool (free slots retained across
+        batches / busy periods).
     rng:
         Optional sampling Generator shared by all requests; None = greedy.
     eos_id / pad_id:
         Per-row stop token and padding filler for ragged batches.
     clock:
         Injectable time source (tests); defaults to ``time.perf_counter``.
+        Every timestamp the engine records — ``submitted_at``, queueing,
+        TTFT, TPOT, latency — is read from this clock.
     """
 
     def __init__(
@@ -166,11 +210,15 @@ class ServingEngine:
         eos_id: int | None = None,
         pad_id: int = 0,
         clock: Callable[[], float] = time.perf_counter,
+        scheduler: str = "continuous",
+        max_tokens: int | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_wait_s < 0:
             raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}")
         self.model = model
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
@@ -178,8 +226,23 @@ class ServingEngine:
         self.eos_id = eos_id
         self.pad_id = pad_id
         self.clock = clock
+        self.scheduler = scheduler
+        self.max_tokens = max_tokens
         self.slot_pool = CacheSlotPool(model, max_slots=cache_slots)
         self.stats = ServingStats()
+        self._continuous: ContinuousScheduler | None = None
+        if scheduler == "continuous":
+            self._continuous = ContinuousScheduler(
+                model,
+                self.slot_pool,
+                max_batch_size,
+                clock=clock,
+                rng=rng,
+                eos_id=eos_id,
+                max_tokens=max_tokens,
+            )
+        elif max_tokens is not None:
+            raise ValueError("max_tokens is an admission budget of the continuous scheduler")
         self._queue: list[GenerationRequest] = []
         # Completed-but-unclaimed results, bounded FIFO: oldest unclaimed
         # results are dropped once the buffer is full (dict preserves
@@ -242,8 +305,19 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Request lifecycle
     # ------------------------------------------------------------------
-    def submit(self, prompt: np.ndarray, max_new_tokens: int) -> int:
-        """Enqueue one prompt; returns its request id."""
+    def submit(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        on_token: TokenCallback | None = None,
+    ) -> int:
+        """Enqueue one prompt; returns its request id.
+
+        ``on_token`` is an optional streaming callback ``(request_id,
+        token)``: under continuous scheduling it fires the moment each
+        token is emitted; under static scheduling it fires per token once
+        the request's batch completes.
+        """
         prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
         if prompt.size == 0:
             raise ValueError("prompt must contain at least one token")
@@ -255,11 +329,17 @@ class ServingEngine:
                 f"request needs {prompt.size + max_new_tokens} positions, "
                 f"model max_seq_len is {capacity}"
             )
+        if self.max_tokens is not None and prompt.size + max_new_tokens > self.max_tokens:
+            raise ValueError(
+                f"request reserves {prompt.size + max_new_tokens} tokens, "
+                f"over the engine's max_tokens budget {self.max_tokens}"
+            )
         request = GenerationRequest(
             request_id=self._next_id,
             prompt=prompt,
             max_new_tokens=int(max_new_tokens),
             submitted_at=self.clock(),
+            on_token=on_token,
         )
         self._next_id += 1
         self._queue.append(request)
@@ -267,7 +347,14 @@ class ServingEngine:
 
     @property
     def pending(self) -> int:
+        """Queued requests not yet admitted."""
         return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently decoding (continuous scheduler rows; the
+        static path never holds work between ``step`` calls)."""
+        return self._continuous.live if self._continuous is not None else 0
 
     def _batch_ready(self) -> bool:
         if not self._queue:
@@ -279,11 +366,13 @@ class ServingEngine:
     def _cut_batch(self) -> list[GenerationRequest]:
         """Take a FIFO prefix of the queue that fits one KV-cache geometry.
 
-        A batch decodes over ``max(prompt_len) + max(budget)`` positions, so
-        two individually-valid requests (long prompt + short budget, short
-        prompt + long budget) can jointly exceed ``max_seq_len``.  The cut
-        stops *before* the first request that would overflow the joint
-        geometry — it simply starts the next batch — preserving FIFO order.
+        (Static path.)  A batch decodes over ``max(prompt_len) +
+        max(budget)`` positions, so two individually-valid requests (long
+        prompt + short budget, short prompt + long budget) can jointly
+        exceed ``max_seq_len``.  The cut stops *before* the first request
+        that would overflow the joint geometry — it simply starts the next
+        batch — preserving FIFO order.  (The continuous scheduler has no
+        joint geometry: every row decodes at its own length.)
         """
         capacity = self.model.config.max_seq_len
         batch: list[GenerationRequest] = []
@@ -300,36 +389,64 @@ class ServingEngine:
         return batch
 
     def step(self, force: bool = False) -> list[RequestResult]:
-        """Cut and run one batch if the batching policy says it is ready.
+        """Advance the engine once, if the batching policy says it is time.
 
-        ``force`` drains a partial batch regardless of ``max_wait_s`` (used
-        by :meth:`run_until_idle`).  Returns [] when nothing ran.  Results
-        are also retained for :meth:`pop_result` until popped.
+        Static policy: cut and decode one full batch.  Continuous policy:
+        one scheduler iteration — admit from the queue, decode one token
+        on every live row, retire finished rows.  ``force`` starts work on
+        a partial queue regardless of ``max_wait_s`` (used by
+        :meth:`run_until_idle`).  Returns the requests completed by this
+        call ([] when nothing ran or nothing finished); results are also
+        retained for :meth:`pop_result` until popped.
         """
-        if not self._queue or not (force or self._batch_ready()):
-            return []
-        batch = self._cut_batch()
-        del self._queue[: len(batch)]
-        results = self._run_batch(batch)
+        if self.scheduler == "static":
+            results = self._step_static(force)
+        else:
+            results = self._step_continuous(force)
         for result in results:
             self._completed[result.request_id] = result
         while len(self._completed) > self.result_buffer:
             self._completed.pop(next(iter(self._completed)))
         return results
 
+    def _step_static(self, force: bool) -> list[RequestResult]:
+        if not self._queue or not (force or self._batch_ready()):
+            return []
+        batch = self._cut_batch()
+        del self._queue[: len(batch)]
+        return self._run_batch(batch)
+
+    def _step_continuous(self, force: bool) -> list[RequestResult]:
+        scheduler = self._continuous
+        if scheduler.live == 0 and (
+            not self._queue or not (force or self._batch_ready())
+        ):
+            return []
+        started = self.clock()
+        results = scheduler.step(self._queue)
+        self.stats.iterations += 1
+        self.stats.decode_wall_s += self.clock() - started
+        self._record_results(results)
+        return results
+
     def pop_result(self, request_id: int) -> RequestResult | None:
         """Claim (and forget) a completed request's result, if any."""
         return self._completed.pop(request_id, None)
 
+    @property
+    def busy(self) -> bool:
+        """True while requests are queued or decoding."""
+        return bool(self._queue) or self.in_flight > 0
+
     def run_until_idle(self) -> list[RequestResult]:
-        """Drain the queue completely; returns results in completion order.
+        """Drain queue and in-flight work; returns results in completion order.
 
         Returned results stay claimable via :meth:`pop_result` too, so a
         caller draining on behalf of earlier ``submit()`` callers does not
         destroy their results.
         """
         results: list[RequestResult] = []
-        while self._queue:
+        while self.busy:
             results.extend(self.step(force=True))
         return results
 
@@ -344,7 +461,7 @@ class ServingEngine:
         ids = [self.submit(p, max_new_tokens) for p in prompts]
         wanted = set(ids)
         collected: dict[int, RequestResult] = {}
-        while self._queue:
+        while self.busy:
             for result in self.step(force=True):
                 if result.request_id in wanted:
                     # Claim eagerly: collecting from step()'s return keeps
@@ -380,6 +497,7 @@ class ServingEngine:
         finally:
             self.slot_pool.release(cache)
         finished = self.clock()
+        wall = finished - started
 
         results = []
         for i, request in enumerate(batch):
@@ -388,27 +506,39 @@ class ServingEngine:
                 hits = np.nonzero(generated == self.eos_id)[0]
                 if hits.size:
                     generated = generated[: hits[0] + 1]
+            generated = np.asarray(generated)
+            if request.on_token is not None:
+                # The static path cannot stream mid-batch; fire the
+                # callback per token once the batch materializes.
+                for token in generated:
+                    request.on_token(request.request_id, int(token))
             results.append(
                 RequestResult(
                     request_id=request.request_id,
                     prompt=request.prompt,
-                    tokens=np.asarray(generated),
+                    tokens=generated,
                     queued_s=started - request.submitted_at,
                     latency_s=finished - request.submitted_at,
                     batch_size=len(batch),
+                    # Static results materialize only at batch completion,
+                    # so the user-visible first token arrives with the last.
+                    ttft_s=finished - request.submitted_at,
+                    tpot_s=wall / max(1, int(generated.size)),
                 )
             )
-        self._record(results, finished - started)
+        self.stats.batches += 1
+        self.stats.decode_wall_s += wall
+        self._record_results(results)
         return results
 
-    def _record(self, results: list[RequestResult], wall_s: float) -> None:
-        self.stats.batches += 1
-        self.stats.decode_wall_s += wall_s
-        self.stats.batch_sizes.append(len(results))
+    def _record_results(self, results: list[RequestResult]) -> None:
         for result in results:
             self.stats.requests_completed += 1
             self.stats.tokens_generated += int(result.tokens.size)
             self.stats.latencies_s.append(result.latency_s)
+            self.stats.ttfts_s.append(result.ttft_s)
+            self.stats.tpots_s.append(result.tpot_s)
+            self.stats.batch_sizes.append(result.batch_size)
 
     # ------------------------------------------------------------------
     # Hardware accounting

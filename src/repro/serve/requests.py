@@ -1,0 +1,79 @@
+"""Request/result types shared by the serving schedulers.
+
+Kept in their own module so both :mod:`repro.serve.engine` (queueing,
+stats) and :mod:`repro.serve.continuous` (iteration-level scheduling) can
+use them without a circular import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["GenerationRequest", "RequestResult", "TokenCallback"]
+
+#: Streaming callback signature: ``(request_id, token)`` per emitted token.
+TokenCallback = Callable[[int, int], None]
+
+
+@dataclass
+class GenerationRequest:
+    """One queued prompt awaiting generation.
+
+    ``submitted_at`` comes from the engine's injectable clock (never
+    ``time.time()`` directly), so scheduler tests are fully deterministic.
+    ``on_token`` is an optional streaming callback: the continuous
+    scheduler fires it the moment each token is emitted; the static
+    scheduler fires it for every token once the request's batch completes
+    (a static batch cannot stream mid-flight).
+    """
+
+    request_id: int
+    prompt: np.ndarray  # (L,) token ids
+    max_new_tokens: int
+    submitted_at: float
+    on_token: TokenCallback | None = field(default=None, repr=False)
+
+    @property
+    def prompt_len(self) -> int:
+        return int(self.prompt.shape[0])
+
+    @property
+    def token_need(self) -> int:
+        """KV positions this request reserves (prompt + full budget)."""
+        return self.prompt_len + self.max_new_tokens
+
+
+@dataclass
+class RequestResult:
+    """A completed request: prompt + generated continuation + timing.
+
+    Latency definitions (all measured on the engine's injectable clock):
+
+    ``ttft_s``
+        Time to first token — submit until the first generated token was
+        available to the caller.  Under continuous scheduling that is the
+        moment the token was emitted; under static scheduling results only
+        materialize when the whole batch finishes, so TTFT equals
+        ``latency_s``.
+    ``tpot_s``
+        Time per output token after the first — ``(completion - first
+        token) / (n - 1)`` under continuous scheduling (0 for single-token
+        results); batch wall-clock per emitted token under static
+        scheduling.
+    """
+
+    request_id: int
+    prompt: np.ndarray
+    tokens: np.ndarray  # generated continuation only
+    queued_s: float  # submit -> admission (batch start / row checkout)
+    latency_s: float  # submit -> completion
+    batch_size: int  # concurrently-decoding requests when this one finished
+    ttft_s: float = 0.0
+    tpot_s: float = 0.0
+
+    @property
+    def full_sequence(self) -> np.ndarray:
+        return np.concatenate([self.prompt, self.tokens])

@@ -51,6 +51,9 @@ SERVE_TINY = {
     "engine_requests": 3,
     "engine_max_batch": 2,
     "engine_new_tokens": 4,
+    "trace_requests": 6,
+    "trace_max_batch": 2,
+    "trace_reps": 1,
 }
 
 
@@ -75,3 +78,10 @@ class TestBenchServe:
         assert engine["tokens_generated"] == 12
         assert engine["tokens_per_s"] > 0
         assert "slot_pool" in engine
+        # Static vs continuous replay of the same mixed-length trace, with
+        # identical total work (per-request parity is asserted inside).
+        trace = value["trace"]
+        assert trace["num_requests"] == 6
+        assert trace["static"]["tokens"] == trace["continuous"]["tokens"] > 0
+        assert trace["speedup"] > 0
+        assert trace["continuous"]["mean_ttft_s"] > 0

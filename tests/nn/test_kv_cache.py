@@ -298,3 +298,97 @@ class TestNaiveSlidingWindowDivergence:
             model.generate(
                 prompts, 30, prompt_lengths=np.array([6, 3]), use_cache=False
             )
+
+
+class TestRowLevelOps:
+    """Row views / copy / clear — the continuous-batching cache primitives."""
+
+    def test_rows_view_shares_buffers_and_lengths(self):
+        cache = KVCache(num_layers=1, batch=3, num_heads=1, head_dim=2, capacity=8)
+        view = cache.rows_view(0, 2)
+        assert view.batch == 2
+        view.append(0, np.ones((2, 1, 2, 2)), np.ones((2, 1, 2, 2)))
+        view.advance(2)
+        # Writes and length commits land in the parent.
+        np.testing.assert_array_equal(cache.lengths, [2, 2, 0])
+        assert cache.keys[0][0, 0, 1, 0] == 1.0
+        assert cache.keys[0][2].max() == 0.0  # untouched row
+
+    def test_row_view_prefills_one_row_of_a_live_cache(self):
+        cache = KVCache(num_layers=1, batch=3, num_heads=1, head_dim=2, capacity=8)
+        cache.set_lengths(np.array([4, 0, 2]))  # rows 0/2 mid-decode
+        view = cache.row_view(1)
+        view.append(0, np.full((1, 1, 3, 2), 7.0), np.full((1, 1, 3, 2), 7.0))
+        view.advance(3)
+        np.testing.assert_array_equal(cache.lengths, [4, 3, 2])
+        assert cache.keys[0][1, 0, 2, 0] == 7.0
+        assert cache.keys[0][0].max() == 0.0  # neighbours untouched
+
+    def test_set_lengths_keeps_views_coherent(self):
+        cache = KVCache(num_layers=1, batch=2, num_heads=1, head_dim=2, capacity=8)
+        view = cache.rows_view(0, 2)
+        cache.set_lengths(np.array([3, 1]))
+        np.testing.assert_array_equal(view.lengths, [3, 1])
+        view.reset()
+        assert cache.max_length == 0
+
+    def test_copy_row_moves_valid_prefix(self):
+        cache = KVCache(num_layers=2, batch=3, num_heads=1, head_dim=2, capacity=8)
+        k = np.arange(6.0).reshape(1, 1, 3, 2)
+        cache.row_view(2).append(0, k, 2 * k)
+        cache.row_view(2).append(1, 3 * k, 4 * k)
+        cache.set_lengths(np.array([0, 0, 3]))
+        cache.copy_row(2, 0)
+        np.testing.assert_array_equal(cache.lengths, [3, 0, 3])
+        np.testing.assert_array_equal(cache.keys[0][0, :, :3], k[0])
+        np.testing.assert_array_equal(cache.values[1][0, :, :3], 4 * k[0])
+        cache.copy_row(1, 1)  # src == dst is a no-op
+        cache.clear_row(2)
+        np.testing.assert_array_equal(cache.lengths, [3, 0, 0])
+
+    def test_row_op_bounds_are_checked(self):
+        cache = KVCache(num_layers=1, batch=2, num_heads=1, head_dim=2, capacity=4)
+        with pytest.raises(ValueError):
+            cache.rows_view(0, 3)
+        with pytest.raises(ValueError):
+            cache.rows_view(1, 1)
+        with pytest.raises(ValueError):
+            cache.copy_row(0, 2)
+        with pytest.raises(ValueError):
+            cache.clear_row(-1)
+
+    def test_view_of_view_addresses_parent_rows(self):
+        cache = KVCache(num_layers=1, batch=4, num_heads=1, head_dim=2, capacity=4)
+        inner = cache.rows_view(1, 4).rows_view(1, 3)  # parent rows 2..3
+        inner.set_lengths(np.array([2, 1]))
+        np.testing.assert_array_equal(cache.lengths, [0, 0, 2, 1])
+
+
+class TestPrefill:
+    def test_prefill_matches_forward_last_logits(self, lm_config, rng):
+        model = DecoderLM(lm_config)
+        prompt = rng.integers(0, 50, size=6)
+        cache = model.new_cache(1)
+        logits = model.prefill(prompt, cache)
+        full = model.forward(prompt[None, :]).data[:, -1]
+        np.testing.assert_allclose(logits, full, atol=1e-12)
+        np.testing.assert_array_equal(cache.lengths, [6])
+
+    def test_prefill_into_row_view_of_live_cache(self, lm_config, rng):
+        """Prefilling one row must not disturb a neighbouring mid-decode row."""
+        model = DecoderLM(lm_config)
+        cache = model.new_cache(2)
+        model.prefill(rng.integers(0, 50, size=5), cache.row_view(0))
+        before = [k.copy() for k in cache.keys]
+        logits = model.prefill(rng.integers(0, 50, size=3), cache.row_view(1))
+        assert logits.shape == (1, 50)
+        np.testing.assert_array_equal(cache.lengths, [5, 3])
+        for layer, k in enumerate(cache.keys):  # row 0 untouched
+            np.testing.assert_array_equal(k[0], before[layer][0])
+
+    def test_prefill_requires_empty_rows(self, lm_config, rng):
+        model = DecoderLM(lm_config)
+        cache = model.new_cache(1)
+        model.prefill(rng.integers(0, 50, size=4), cache)
+        with pytest.raises(ValueError):
+            model.prefill(rng.integers(0, 50, size=4), cache)

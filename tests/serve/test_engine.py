@@ -55,7 +55,7 @@ class TestSubmitValidation:
 class TestDynamicBatching:
     def test_full_batch_runs_immediately(self, model, rng):
         clock = FakeClock()
-        engine = ServingEngine(model, max_batch_size=2, max_wait_s=10.0, clock=clock)
+        engine = ServingEngine(model, max_batch_size=2, max_wait_s=10.0, clock=clock, scheduler="static")
         engine.submit(rng.integers(0, 40, size=4), 2)
         assert engine.step() == []  # partial batch, wait budget not exhausted
         engine.submit(rng.integers(0, 40, size=4), 2)
@@ -65,7 +65,7 @@ class TestDynamicBatching:
 
     def test_max_wait_cuts_partial_batch(self, model, rng):
         clock = FakeClock()
-        engine = ServingEngine(model, max_batch_size=4, max_wait_s=1.0, clock=clock)
+        engine = ServingEngine(model, max_batch_size=4, max_wait_s=1.0, clock=clock, scheduler="static")
         engine.submit(rng.integers(0, 40, size=4), 2)
         assert engine.step() == []
         clock.now = 1.5  # oldest request has now waited past max_wait_s
@@ -73,7 +73,7 @@ class TestDynamicBatching:
         assert len(results) == 1
 
     def test_run_until_idle_drains_everything(self, model, rng):
-        engine = ServingEngine(model, max_batch_size=3, max_wait_s=100.0)
+        engine = ServingEngine(model, max_batch_size=3, max_wait_s=100.0, scheduler="static")
         for _ in range(7):
             engine.submit(rng.integers(0, 40, size=5), 3)
         results = engine.run_until_idle()
@@ -82,7 +82,7 @@ class TestDynamicBatching:
         assert engine.stats.batches == 3  # 3 + 3 + 1
 
     def test_queue_is_fifo(self, model, rng):
-        engine = ServingEngine(model, max_batch_size=2)
+        engine = ServingEngine(model, max_batch_size=2, scheduler="static")
         ids = [engine.submit(rng.integers(0, 40, size=4), 2) for _ in range(4)]
         first = engine.step(force=True)
         assert sorted(r.request_id for r in first) == ids[:2]
@@ -231,9 +231,10 @@ class TestPimDeployment:
 class TestReviewRegressions:
     def test_jointly_incompatible_requests_split_into_batches(self, model, rng):
         """Long-prompt/short-budget + short-prompt/long-budget both fit alone
-        but not together (32 positions); the batch cut must split them, not
-        crash and drop them."""
-        engine = ServingEngine(model, max_batch_size=2)
+        but not together (32 positions); the static batch cut must split
+        them, not crash and drop them.  (The continuous scheduler has no
+        joint geometry — see tests/serve/test_continuous.py.)"""
+        engine = ServingEngine(model, max_batch_size=2, scheduler="static")
         a = engine.submit(rng.integers(0, 40, size=24), 8)
         b = engine.submit(rng.integers(0, 40, size=4), 28)
         results = {r.request_id: r for r in engine.run_until_idle()}
@@ -243,7 +244,7 @@ class TestReviewRegressions:
         assert engine.pending == 0
 
     def test_compatible_requests_still_share_a_batch(self, model, rng):
-        engine = ServingEngine(model, max_batch_size=2)
+        engine = ServingEngine(model, max_batch_size=2, scheduler="static")
         engine.submit(rng.integers(0, 40, size=8), 4)
         engine.submit(rng.integers(0, 40, size=6), 6)
         results = engine.run_until_idle()
