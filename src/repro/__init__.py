@@ -13,6 +13,7 @@ Sub-packages
 ``repro.rram``      RRAM device, noise, ADC and crossbar models
 ``repro.pim``       analog/digital PIM modules, processing units, chip
 ``repro.arch``      analytic performance model + baseline accelerators
+``repro.dist``      sharded multi-chip execution (tensor/pipeline parallelism)
 ``repro.models``    paper model configs and down-scaled factories
 ``repro.datasets``  synthetic GLUE/LM/vision workloads
 ``repro.eval``      metrics and experiment harness

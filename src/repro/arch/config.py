@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.arch.interconnect import OCI_LINK, PCIE6_LINK
+
 __all__ = [
     "ComponentSpec",
     "ModuleSpec",
@@ -99,9 +101,11 @@ class HardwareConfig:
     conversion_window_ns: float = 100.0  # 128 bitlines per window
     analog: ModuleSpec = field(default=ANALOG_MODULE)
     digital: ModuleSpec = field(default=DIGITAL_MODULE)
-    # Interconnect (Section 3.1 / 5.4).
-    oci_gbps: float = 1000.0  # inner/inter-PU on-chip interconnect
-    pcie_gbps: float = 128.0  # PCIe-6.0 chip-to-chip
+    # Interconnect (Section 3.1 / 5.4) — derived from the canonical
+    # :mod:`repro.arch.interconnect` links so the bandwidths have exactly
+    # one source of truth.
+    oci_gbps: float = OCI_LINK.bandwidth_gbps  # inner/inter-PU on-chip interconnect
+    pcie_gbps: float = PCIE6_LINK.bandwidth_gbps  # PCIe-6.0 chip-to-chip
     # Crossbar geometry.
     array_rows: int = 64
     array_cols: int = 128

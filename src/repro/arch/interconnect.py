@@ -25,11 +25,27 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Link:
-    """A bandwidth-limited transfer path."""
+    """A bandwidth-limited transfer path.
+
+    Bandwidth is validated at construction (rather than silently dividing
+    by zero or a negative number inside :meth:`transfer_seconds`), matching
+    the explicit ``num_bytes`` check on the transfer side.
+    """
 
     name: str
     bandwidth_gbps: float  # GB/s
     launch_overhead_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(
+                f"bandwidth_gbps must be positive, got {self.bandwidth_gbps}"
+            )
+        if self.launch_overhead_cycles < 0:
+            raise ValueError(
+                f"launch_overhead_cycles must be non-negative, "
+                f"got {self.launch_overhead_cycles}"
+            )
 
     def transfer_seconds(self, num_bytes: float) -> float:
         if num_bytes < 0:
@@ -43,6 +59,8 @@ PCIE6_LINK = Link("pcie6", bandwidth_gbps=128.0, launch_overhead_cycles=2.0)
 
 def transfer_cycles(link: Link, num_bytes: float, clock_hz: float = 1e9) -> float:
     """Cycles at ``clock_hz`` to move ``num_bytes`` over ``link``."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
     return link.transfer_seconds(num_bytes) * clock_hz + link.launch_overhead_cycles
 
 

@@ -1,0 +1,175 @@
+"""DeviceMesh: N virtual HyFlexPIM chips plus interconnect traffic accounting.
+
+The mesh is the deployment substrate of the paper's Section 3.1 scaling
+story: tensor parallelism spreads one layer's arrays over collaborating
+PUs inside a chip (partial sums aggregated over the 1000 GB/s OCI), and
+pipeline parallelism cascades whole layers across chips (one hidden-vector
+handoff per chip boundary over the 128 GB/s PCIe-6.0 link).
+
+The mesh itself is *passive*: it owns the chip inventory and a per-link
+traffic ledger (:class:`LinkTraffic`).  The placement decisions live in
+:class:`~repro.dist.plan.ShardPlan`; the functional sharded forwards
+(:meth:`repro.pim.hybrid.HybridLinear.deploy`) and the serving engine
+record the bytes they actually move here, so hardware-projected latency is
+driven by the links *exercised*, not by an assumed traffic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import DEFAULT_HARDWARE, HardwareConfig
+from repro.arch.interconnect import Link, OCI_LINK, PCIE6_LINK
+from repro.pim.chip import ChipConfig
+
+__all__ = ["LinkTraffic", "DeviceMesh"]
+
+
+@dataclass
+class LinkTraffic:
+    """Ledger of everything moved over one link since the last reset."""
+
+    transfers: int = 0
+    num_bytes: float = 0.0
+    cycles: float = 0.0
+
+    def seconds(self, clock_hz: float) -> float:
+        return self.cycles / clock_hz
+
+    def as_dict(self) -> dict:
+        return {
+            "transfers": self.transfers,
+            "bytes": round(self.num_bytes, 1),
+            "cycles": round(self.cycles, 1),
+        }
+
+
+class DeviceMesh:
+    """``num_chips`` virtual HyFlexPIM chips sharing one traffic ledger.
+
+    Parameters
+    ----------
+    num_chips:
+        Pipeline depth of the mesh (paper case 3): consecutive Transformer
+        blocks are assigned to consecutive chips by the
+        :class:`~repro.dist.plan.ShardPlan` builder.
+    chip_config:
+        Per-chip composition (24 PUs by default, Fig. 5(a)).
+    hardware:
+        Component library used for clocking the traffic ledger and for the
+        throughput projection.
+    """
+
+    def __init__(
+        self,
+        num_chips: int = 1,
+        chip_config: ChipConfig | None = None,
+        hardware: HardwareConfig | None = None,
+    ) -> None:
+        if num_chips < 1:
+            raise ValueError(f"num_chips must be >= 1, got {num_chips}")
+        self.num_chips = num_chips
+        self.chip_config = chip_config or ChipConfig()
+        self.hardware = hardware or DEFAULT_HARDWARE
+        self.links: dict[str, Link] = {OCI_LINK.name: OCI_LINK, PCIE6_LINK.name: PCIE6_LINK}
+        self.traffic: dict[str, LinkTraffic] = {
+            name: LinkTraffic() for name in self.links
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def clock_hz(self) -> float:
+        return self.hardware.clock_hz
+
+    @property
+    def pus_per_chip(self) -> int:
+        return self.chip_config.num_processing_units
+
+    @property
+    def total_pus(self) -> int:
+        return self.num_chips * self.pus_per_chip
+
+    def arrays_per_pu(self) -> int:
+        return self.hardware.analog_arrays_per_pu()
+
+    # ------------------------------------------------------------------
+    # Traffic ledger
+    # ------------------------------------------------------------------
+    def record(self, link_name: str, num_bytes: float, transfers: int = 1) -> float:
+        """Account ``num_bytes`` moved over ``link_name``; returns the cycles.
+
+        ``transfers`` counts distinct launches (each paying the link's
+        launch overhead once).
+        """
+        link = self.links.get(link_name)
+        if link is None:
+            raise KeyError(
+                f"unknown link {link_name!r}; mesh links: {sorted(self.links)}"
+            )
+        if transfers < 1:
+            raise ValueError(f"transfers must be >= 1, got {transfers}")
+        cycles = (
+            link.transfer_seconds(num_bytes) * self.clock_hz
+            + transfers * link.launch_overhead_cycles
+        )
+        ledger = self.traffic[link_name]
+        ledger.transfers += transfers
+        ledger.num_bytes += num_bytes
+        ledger.cycles += cycles
+        return cycles
+
+    def record_partial_sum_aggregation(
+        self, num_shards: int, num_bytes_per_shard: float, intra_chip: bool = True
+    ) -> float:
+        """Tensor-parallel partial-sum reduction across ``num_shards`` workers.
+
+        ``num_shards - 1`` shards ship their partial result to the
+        aggregating worker (paper Section 3.1, cases 1-2); intra-chip
+        reductions ride the OCI, cross-chip ones PCIe-6.0.
+        """
+        if num_shards < 2:
+            return 0.0
+        link = OCI_LINK.name if intra_chip else PCIE6_LINK.name
+        return self.record(
+            link, (num_shards - 1) * num_bytes_per_shard, transfers=num_shards - 1
+        )
+
+    def record_pipeline_handoff(
+        self, hidden_dim: int, tokens: int = 1, boundaries: int | None = None
+    ) -> float:
+        """One hidden-vector handoff per chip boundary crossed (case 3).
+
+        ``tokens`` INT8 hidden vectors of ``hidden_dim`` elements each cross
+        PCIe-6.0 once per boundary; ``boundaries`` defaults to the mesh's
+        own chip count but a :class:`~repro.dist.plan.ShardPlan` may use
+        fewer chips than the mesh offers.
+        """
+        if boundaries is None:
+            boundaries = self.num_chips - 1
+        if boundaries < 1 or tokens < 1:
+            return 0.0
+        return self.record(
+            PCIE6_LINK.name,
+            float(tokens) * boundaries * hidden_dim,
+            transfers=tokens * boundaries,
+        )
+
+    def reset_traffic(self) -> None:
+        for name in self.traffic:
+            self.traffic[name] = LinkTraffic()
+
+    def transfer_seconds(self) -> float:
+        """Total projected seconds spent on all recorded transfers."""
+        return sum(t.seconds(self.clock_hz) for t in self.traffic.values())
+
+    def traffic_report(self) -> dict:
+        report = {name: ledger.as_dict() for name, ledger in self.traffic.items()}
+        for name, ledger in self.traffic.items():
+            report[name]["seconds"] = ledger.seconds(self.clock_hz)
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceMesh(num_chips={self.num_chips}, "
+            f"pus_per_chip={self.pus_per_chip})"
+        )

@@ -1,0 +1,220 @@
+"""ShardPlan: tensor/pipeline-parallel placement over a :class:`DeviceMesh`.
+
+Two axes of parallelism, straight from paper Section 3.1:
+
+- **Tensor parallelism (cases 1-2)** — each crossbar-deployed layer's rank
+  dimension is partitioned into ``tensor_parallel`` contiguous shards
+  (:func:`repro.rram.mapping.partition_rank`); shard ``s`` holds rows
+  ``[start, stop)`` of ``A`` and columns ``[start, stop)`` of ``B``, and
+  the per-shard stage-2 partial sums are aggregated over the OCI.
+- **Pipeline parallelism (case 3)** — whole Transformer blocks are
+  assigned to chips contiguously; each chip boundary costs one
+  hidden-vector PCIe-6.0 handoff per token.
+
+Placement is **derived from the existing** :class:`~repro.pim.chip.HyFlexPimChip`
+mapper rather than re-invented: every (chip, shard) pair gets its own
+capacity-checked mapper over its slice of the chip's PUs, and the per-shard
+rank-sliced :class:`~repro.svd.pipeline.LayerPlan`\\ s are placed through the
+same first-fit logic (and raise the same :class:`MemoryError` when a mesh
+is too small — the signal to scale out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dist.mesh import DeviceMesh
+from repro.pim.chip import ChipConfig, HyFlexPimChip, group_layers_by_block
+from repro.rram.cell import CellType, MLC2
+from repro.rram.mapping import partition_rank
+from repro.rram.noise import NoiseSpec
+from repro.svd.pipeline import LayerPlan
+
+__all__ = ["LayerShardAssignment", "ShardPlan", "shard_layer_plan"]
+
+
+def shard_layer_plan(plan: LayerPlan, start: int, stop: int) -> LayerPlan:
+    """Rank-slice one :class:`LayerPlan` into the shard ``[start, stop)``.
+
+    The bias stays with the logical layer (it is added once, after the
+    shards' partial sums recombine), so shard plans carry ``bias=None``.
+    """
+    return LayerPlan(
+        name=plan.name,
+        a_matrix=plan.a_matrix[start:stop, :],
+        b_matrix=plan.b_matrix[:, start:stop],
+        bias=None,
+        protected_ranks=plan.protected_ranks[start:stop],
+        sigma_gradients=plan.sigma_gradients[start:stop],
+    )
+
+
+@dataclass
+class LayerShardAssignment:
+    """Where one logical layer's shards landed on the mesh."""
+
+    name: str
+    block: int
+    chip: int
+    rank_slices: list[tuple[int, int]]
+    pu_ids: list[list[int]] = field(default_factory=list)  # global ids, per shard
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.rank_slices)
+
+    def pus_assigned(self) -> set[int]:
+        return {pu for group in self.pu_ids for pu in group}
+
+
+@dataclass
+class ShardPlan:
+    """A complete tensor/pipeline-parallel deployment of one model."""
+
+    mesh: DeviceMesh
+    tensor_parallel: int
+    layers: dict[str, LayerShardAssignment]
+    chip_of_block: dict[int, int]
+    arrays_used: int
+
+    # ------------------------------------------------------------------
+    @property
+    def chips_used(self) -> int:
+        return len(set(self.chip_of_block.values())) if self.chip_of_block else 0
+
+    @property
+    def pipeline_boundaries(self) -> int:
+        """Chip boundaries a token crosses end to end (case 3 handoffs)."""
+        return max(0, self.chips_used - 1)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.chip_of_block)
+
+    def pus_assigned(self) -> int:
+        """Distinct processing units holding at least one shard fragment."""
+        return len({pu for a in self.layers.values() for pu in a.pus_assigned()})
+
+    def describe(self) -> dict:
+        return {
+            "num_chips": self.mesh.num_chips,
+            "tensor_parallel": self.tensor_parallel,
+            "chips_used": self.chips_used,
+            "pipeline_boundaries": self.pipeline_boundaries,
+            "num_blocks": self.num_blocks,
+            "num_layers": len(self.layers),
+            "pus_assigned": self.pus_assigned(),
+            "arrays_used": self.arrays_used,
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        plans: dict[str, LayerPlan],
+        mesh: DeviceMesh,
+        tensor_parallel: int = 1,
+        mlc_cell: CellType = MLC2,
+        noise: NoiseSpec | None = None,
+        seed: int = 0,
+    ) -> "ShardPlan":
+        """Derive a shard plan for ``plans`` on ``mesh``.
+
+        Blocks are split contiguously over the mesh's chips (balanced, in
+        block order — pipeline order is model order).  Within a chip, the
+        PUs are divided into ``tensor_parallel`` contiguous groups; shard
+        ``s`` of every layer on that chip is placed into group ``s`` by a
+        dedicated :class:`HyFlexPimChip` mapper restricted to that group's
+        PU budget.
+        """
+        if tensor_parallel < 1:
+            raise ValueError(f"tensor_parallel must be >= 1, got {tensor_parallel}")
+        pus_per_chip = mesh.pus_per_chip
+        if tensor_parallel > pus_per_chip:
+            raise ValueError(
+                f"tensor_parallel={tensor_parallel} exceeds the chip's "
+                f"{pus_per_chip} processing units"
+            )
+        groups = group_layers_by_block(plans)
+        blocks = list(groups)
+        num_chips = min(mesh.num_chips, len(blocks)) or 1
+        # Balanced contiguous block -> chip assignment (pipeline order).
+        chip_of_block: dict[int, int] = {}
+        for position, block in enumerate(blocks):
+            chip_of_block[block] = (position * num_chips) // max(1, len(blocks))
+
+        pus_per_group = pus_per_chip // tensor_parallel
+        if pus_per_group < 1:
+            raise ValueError(
+                f"cannot carve {tensor_parallel} shard groups out of "
+                f"{pus_per_chip} PUs"
+            )
+
+        layers: dict[str, LayerShardAssignment] = {}
+        arrays_used = 0
+        for chip in range(num_chips):
+            chip_blocks = [b for b in blocks if chip_of_block[b] == chip]
+            if not chip_blocks:
+                continue
+            chip_names = [name for b in chip_blocks for name in groups[b]]
+            # Rank slices are a property of each logical layer, shared by
+            # every shard group; boundaries align to whole array row tiles
+            # whenever possible (shards split mapped arrays, not wordlines).
+            slices_of = {
+                name: partition_rank(
+                    plans[name].rank,
+                    tensor_parallel,
+                    tile=mesh.hardware.array_rows,
+                )
+                for name in chip_names
+            }
+            for name in chip_names:
+                block = int(name.split(".")[1])
+                layers[name] = LayerShardAssignment(
+                    name=name,
+                    block=block,
+                    chip=chip,
+                    rank_slices=slices_of[name],
+                    pu_ids=[[] for _ in slices_of[name]],
+                )
+            for shard in range(tensor_parallel):
+                shard_plans = {}
+                for name in chip_names:
+                    if shard < len(slices_of[name]):
+                        start, stop = slices_of[name][shard]
+                        shard_plans[name] = shard_layer_plan(plans[name], start, stop)
+                if not shard_plans:
+                    continue
+                mapper = HyFlexPimChip(
+                    config=ChipConfig(
+                        num_processing_units=pus_per_group,
+                        pu=mesh.chip_config.pu,
+                        global_bus_gbps=mesh.chip_config.global_bus_gbps,
+                        inner_bus_gbps=mesh.chip_config.inner_bus_gbps,
+                    ),
+                    noise=noise,
+                    seed=seed + 7919 * (chip * tensor_parallel + shard),
+                )
+                try:
+                    assignments = mapper.deploy(shard_plans, mlc_cell=mlc_cell)
+                except MemoryError as exc:
+                    raise MemoryError(
+                        f"mesh exhausted on chip {chip}, shard group {shard} "
+                        f"({pus_per_group} PUs): {exc}; scale out with more "
+                        "chips or lower tensor_parallel"
+                    ) from None
+                arrays_used += mapper.arrays_used()
+                base = chip * pus_per_chip + shard * pus_per_group
+                for assignment in assignments:
+                    for name in assignment.matrices:
+                        if shard < len(layers[name].rank_slices):
+                            layers[name].pu_ids[shard] = [
+                                base + local for local in assignment.pu_indices
+                            ]
+        return cls(
+            mesh=mesh,
+            tensor_parallel=tensor_parallel,
+            layers=layers,
+            chip_of_block=chip_of_block,
+            arrays_used=arrays_used,
+        )

@@ -9,8 +9,10 @@ The subsystem behind every figure reproduction and example study:
 
 Experiments are plain functions ``fn(params, seed) -> dict`` registered by
 name (see :mod:`repro.exp.registry`); the bundled figure studies live in
-:mod:`repro.exp.studies_model` and :mod:`repro.exp.studies_arch`, and the
-kernel perf-trajectory benchmark in :mod:`repro.exp.studies_bench`.
+:mod:`repro.exp.studies_model` and :mod:`repro.exp.studies_arch`, the
+kernel/serving perf-trajectory benchmarks in
+:mod:`repro.exp.studies_bench`, and the sharding scaling benchmark in
+:mod:`repro.exp.studies_dist`.
 ``python -m repro.exp`` exposes the same engine from the command line
 (``run`` / ``sweep`` / ``list`` / ``list-cache``).
 """

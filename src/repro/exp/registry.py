@@ -85,6 +85,7 @@ def _ensure_builtin_studies() -> None:
     # and re-run in worker processes that start with an empty registry.
     import repro.exp.studies_arch  # noqa: F401
     import repro.exp.studies_bench  # noqa: F401
+    import repro.exp.studies_dist  # noqa: F401
     import repro.exp.studies_model  # noqa: F401
 
 

@@ -1,0 +1,219 @@
+"""Sharding benchmark: the tracked perf trajectory of ``repro.dist``.
+
+``bench_shard`` deploys one crossbar-mode decoder onto 1/2/4/8-way
+tensor-parallel meshes (plus a two-chip pipeline point), serves the same
+request trace through every deployment, and reports:
+
+- **correctness riding along** — every mesh's greedy tokens must match the
+  1-way deployment bit-for-bit (the noiseless sharded forward is
+  bitwise-equal to the unsharded fast kernel);
+- **hardware-projected throughput** — tokens/s from the
+  :class:`~repro.dist.HardwareProjection` over the deployed geometry and
+  the interconnect traffic actually exercised; the CI gate requires
+  >= 1.5x at 4-way over 1-way;
+- **the analytic cross-check** — the same shard-count curve from
+  :class:`~repro.arch.scaling.ScalabilityModel` (Fig. 17's model), both
+  normalized to their 1-way points, which must agree in shape: monotone
+  non-decreasing, with the functional curve within the analytic bound
+  (the mapper's per-shard tiling overhead can only *lower* it).
+
+The payload lands in ``BENCH_shard.json`` (written by
+``benchmarks/bench_shard.py`` and the CI smoke job).  Wall-clock numbers
+ride along for context but are not gated — the projection is the
+deterministic quantity.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.exp.registry import experiment
+
+__all__ = ["bench_shard"]
+
+#: Mesh widths benchmarked (tensor-parallel ways on one chip).  The gate
+#: compares the 4-way point against 1-way.
+DEFAULT_WAYS = (1, 2, 4, 8)
+GATE_WAYS = 4
+
+#: Served trace geometry (overridable via params).
+DEFAULT_REQUESTS = 8
+DEFAULT_PROMPT_LEN = 5
+DEFAULT_NEW_TOKENS = 6
+
+
+def _shard_model_and_plans(params: dict[str, Any], seed: int):
+    from repro.nn import DecoderLM, TransformerConfig
+    from repro.svd.pipeline import LayerPlan
+
+    config = TransformerConfig(
+        vocab_size=int(params.get("vocab_size", 40)),
+        d_model=int(params.get("d_model", 16)),
+        num_heads=int(params.get("num_heads", 2)),
+        num_layers=int(params.get("num_layers", 2)),
+        d_ff=int(params.get("d_ff", 32)),
+        max_seq_len=int(params.get("max_seq_len", 32)),
+        seed=seed,
+    )
+    model = DecoderLM(config)
+    rng = np.random.default_rng(seed + 1)
+    plans: dict[str, LayerPlan] = {}
+    for name, linear in model.iter_static_linears():
+        out_f, in_f = linear.weight.data.shape
+        rank = min(out_f, in_f)
+        mask = np.zeros(rank, dtype=bool)
+        mask[: max(1, rank // 4)] = True
+        plans[name] = LayerPlan(
+            name=name,
+            a_matrix=rng.normal(size=(rank, in_f)) / np.sqrt(in_f),
+            b_matrix=rng.normal(size=(out_f, rank)) / np.sqrt(rank),
+            bias=None,
+            protected_ranks=mask,
+            sigma_gradients=rng.random(rank),
+        )
+    return model, plans
+
+
+def _deploy_engine(model, plans, calib, ways: int, num_chips: int, seed: int):
+    from repro.dist import DeviceMesh
+    from repro.rram.noise import NoiseSpec
+    from repro.serve import ServingEngine
+
+    return ServingEngine.deploy(
+        model,
+        plans,
+        calibration_prompts=calib,
+        noise=NoiseSpec.noiseless(),  # the bitwise-equality regime
+        mode="crossbar",
+        seed=seed,
+        mesh=DeviceMesh(num_chips=num_chips),
+        tensor_parallel=ways,
+        max_batch_size=int(max(1, len(calib))) * 2,
+    )
+
+
+def _serve_point(engine, prompts, new_tokens: int) -> dict[str, Any]:
+    start = time.perf_counter()
+    results = engine.serve(prompts, max_new_tokens=new_tokens)
+    wall_s = time.perf_counter() - start
+    tokens = sum(int(r.tokens.size) for r in results)
+    report = engine.hardware_report()
+    return {
+        "tokens": tokens,
+        "wall_s": round(wall_s, 4),
+        "wall_tok_s": round(tokens / wall_s, 1),
+        "projected_tok_s": report["projected_tokens_per_s"],
+        "projected_rate_tok_s": report["pipeline_rate_tokens_per_s"],
+        "serial_token_latency_us": report["serial_token_latency_us"],
+        "mean_projected_latency_us": round(
+            float(np.mean([r.projected_latency_s for r in results])) * 1e6, 4
+        ),
+        "plan": report["plan"],
+        "traffic": report["traffic"],
+        "_tokens_per_request": [r.tokens for r in results],
+    }
+
+
+def _analytic_curve(params: dict[str, Any], ways: tuple[int, ...]) -> list[float]:
+    """Fig. 17 model's normalized throughput over the same shard counts."""
+    from repro.arch.scaling import ScalabilityModel
+    from repro.models.configs import ModelSpec
+
+    spec = ModelSpec(
+        name="bench-shard",
+        kind="decoder",
+        num_layers=int(params.get("num_layers", 2)),
+        d_model=int(params.get("d_model", 16)),
+        num_heads=int(params.get("num_heads", 2)),
+        d_ff=int(params.get("d_ff", 32)),
+        vocab_size=int(params.get("vocab_size", 40)),
+        max_seq_len=int(params.get("max_seq_len", 32)),
+    )
+    model = ScalabilityModel()
+    seq_len = int(params.get("max_seq_len", 32))
+    rates = [
+        model.throughput(spec, seq_len, 0.25, 1, pus_per_layer=w).tokens_per_second
+        for w in ways
+    ]
+    return [rate / rates[0] for rate in rates]
+
+
+@experiment(
+    "bench_shard",
+    smoke={"ways": (1, 4), "requests": 6, "new_tokens": 4},
+)
+def bench_shard(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Shard-count scaling of the crossbar serving engine (see module doc)."""
+    ways_grid = tuple(int(w) for w in params.get("ways", DEFAULT_WAYS))
+    if 1 not in ways_grid:
+        ways_grid = (1,) + ways_grid
+    num_requests = int(params.get("requests", DEFAULT_REQUESTS))
+    prompt_len = int(params.get("prompt_len", DEFAULT_PROMPT_LEN))
+    new_tokens = int(params.get("new_tokens", DEFAULT_NEW_TOKENS))
+
+    model, plans = _shard_model_and_plans(params, seed)
+    rng = np.random.default_rng(seed + 2)
+    vocab = model.config.vocab_size
+    calib = rng.integers(0, vocab, size=(2, prompt_len + 1))
+    prompts = [rng.integers(0, vocab, size=prompt_len) for _ in range(num_requests)]
+
+    curve = []
+    baseline_tokens = None
+    for ways in ways_grid:
+        engine = _deploy_engine(model, plans, calib, ways, num_chips=1, seed=seed)
+        point = _serve_point(engine, prompts, new_tokens)
+        per_request = point.pop("_tokens_per_request")
+        if baseline_tokens is None:
+            baseline_tokens = per_request
+        elif any(
+            not np.array_equal(a, b) for a, b in zip(baseline_tokens, per_request)
+        ):
+            raise AssertionError(
+                f"{ways}-way sharded deployment diverged from the 1-way tokens"
+            )
+        point["ways"] = ways
+        curve.append(point)
+
+    base_rate = curve[0]["projected_rate_tok_s"]
+    for point in curve:
+        point["normalized_projected"] = round(
+            point["projected_rate_tok_s"] / base_rate, 4
+        )
+
+    # Two-chip pipeline point (case 3): PCIe-6.0 handoffs must show up in
+    # the exercised-traffic ledger and the tokens must still match.
+    pipeline_engine = _deploy_engine(
+        model, plans, calib, ways=2, num_chips=2, seed=seed
+    )
+    pipeline = _serve_point(pipeline_engine, prompts, new_tokens)
+    per_request = pipeline.pop("_tokens_per_request")
+    if any(not np.array_equal(a, b) for a, b in zip(baseline_tokens, per_request)):
+        raise AssertionError("two-chip pipeline deployment diverged from 1-way tokens")
+    if pipeline["traffic"]["pcie6"]["bytes"] <= 0:
+        raise AssertionError("pipeline point recorded no PCIe-6.0 handoff traffic")
+
+    analytic = _analytic_curve(params, ways_grid)
+    gated = next((p for p in curve if p["ways"] == GATE_WAYS), None)
+    payload: dict[str, Any] = {
+        "ways": list(ways_grid),
+        "curve": curve,
+        "pipeline_2chip": pipeline,
+        "analytic_normalized": [round(v, 4) for v in analytic],
+        "trace": {
+            "requests": num_requests,
+            "prompt_len": prompt_len,
+            "new_tokens": new_tokens,
+        },
+    }
+    if gated is not None:
+        payload["gate"] = {
+            "ways": GATE_WAYS,
+            "projected_speedup": round(
+                gated["projected_tok_s"] / curve[0]["projected_tok_s"], 3
+            ),
+            "threshold": 1.5,
+        }
+    return payload

@@ -13,23 +13,46 @@ paper's three flexibility cases (Section 3.1):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
+from repro.arch.interconnect import OCI_LINK, PCIE6_LINK
 from repro.pim.processing_unit import ProcessingUnit, ProcessingUnitConfig
 from repro.rram.cell import CellType, MLC2
 from repro.rram.noise import DEFAULT_NOISE, NoiseSpec
-from repro.svd.pipeline import RedistributionPlan
+from repro.svd.pipeline import LayerPlan, RedistributionPlan
 
-__all__ = ["ChipConfig", "LayerAssignment", "HyFlexPimChip"]
+__all__ = ["ChipConfig", "LayerAssignment", "HyFlexPimChip", "group_layers_by_block"]
+
+
+def group_layers_by_block(names: Iterable[str]) -> dict[int, list[str]]:
+    """Group layer-plan names ('blocks.<i>.<leaf>') by block index.
+
+    Shared by the single-chip mapper below and the multi-chip
+    :class:`~repro.dist.ShardPlan` builder, which derives its pipeline
+    (layer-to-chip) assignment from the same block structure.
+    """
+    groups: dict[int, list[str]] = {}
+    for name in names:
+        parts = name.split(".")
+        if parts[0] != "blocks":
+            raise ValueError(f"unexpected layer name {name!r}")
+        groups.setdefault(int(parts[1]), []).append(name)
+    return dict(sorted(groups.items()))
 
 
 @dataclass(frozen=True)
 class ChipConfig:
-    """Chip composition per Fig. 5(a) and Section 5.4."""
+    """Chip composition per Fig. 5(a) and Section 5.4.
+
+    Bus bandwidths are derived from the canonical
+    :mod:`repro.arch.interconnect` links (PCIe-6.0 x16 global bus, on-chip
+    OCI) so the paper's numbers live in exactly one place.
+    """
 
     num_processing_units: int = 24
     pu: ProcessingUnitConfig = field(default_factory=ProcessingUnitConfig)
-    global_bus_gbps: float = 128.0  # PCIe-6.0 x16 (Section 3.1)
-    inner_bus_gbps: float = 1000.0  # on-chip interconnect (OCI)
+    global_bus_gbps: float = PCIE6_LINK.bandwidth_gbps  # PCIe-6.0 x16 (Section 3.1)
+    inner_bus_gbps: float = OCI_LINK.bandwidth_gbps  # on-chip interconnect (OCI)
 
 
 @dataclass
@@ -58,32 +81,29 @@ class HyFlexPimChip:
         ]
         self.assignments: list[LayerAssignment] = []
 
-    @staticmethod
-    def _group_by_block(plan: RedistributionPlan) -> dict[int, list[str]]:
-        """Group layer-plan names ('blocks.<i>.<leaf>') by block index."""
-        groups: dict[int, list[str]] = {}
-        for name in plan.layers:
-            parts = name.split(".")
-            if parts[0] != "blocks":
-                raise ValueError(f"unexpected layer name {name!r}")
-            groups.setdefault(int(parts[1]), []).append(name)
-        return dict(sorted(groups.items()))
-
-    def deploy(self, plan: RedistributionPlan, mlc_cell: CellType = MLC2) -> list[LayerAssignment]:
+    def deploy(
+        self,
+        plan: RedistributionPlan | Mapping[str, LayerPlan],
+        mlc_cell: CellType = MLC2,
+    ) -> list[LayerAssignment]:
         """Place every Transformer block on processing units.
 
-        One PU per block when it fits; a block that exceeds one PU's arrays
-        spills onto subsequent PUs (the paper's case 1).  Raises
-        :class:`MemoryError` when the chip is exhausted (callers then scale
-        out to more chips — the paper's case 3).
+        ``plan`` is a :class:`RedistributionPlan` or a bare name ->
+        :class:`LayerPlan` mapping (the form the sharded deployment planner
+        hands in after slicing ranks).  One PU per block when it fits; a
+        block that exceeds one PU's arrays spills onto subsequent PUs (the
+        paper's case 1).  Raises :class:`MemoryError` when the chip is
+        exhausted (callers then scale out to more chips — the paper's
+        case 3).
         """
-        groups = self._group_by_block(plan)
+        layers = plan.layers if isinstance(plan, RedistributionPlan) else dict(plan)
+        groups = group_layers_by_block(layers)
         next_pu = 0
         self.assignments = []
         for block_index, names in groups.items():
             used_pus: list[int] = []
             for name in names:
-                layer_plan = plan.layers[name]
+                layer_plan = layers[name]
                 placed = False
                 probe = next_pu
                 while probe < len(self.processing_units):

@@ -30,9 +30,10 @@ from repro.quant.quantizer import QuantParams, dequantize, quantize
 from repro.rram.cell import CellType, MLC2, SLC
 from repro.rram.crossbar import CrossbarConfig, GemvStats
 from repro.rram.kernels import KernelPolicy
-from repro.rram.mapping import HybridSplit, array_footprint, split_by_rank
+from repro.rram.mapping import HybridSplit, array_footprint, partition_rank, split_by_rank
 from repro.rram.noise import DEFAULT_NOISE, NoiseSpec, apply_multiplicative_noise
 from repro.svd.pipeline import LayerPlan
+from repro.utils.parallel import map_with_threads
 
 __all__ = [
     "HybridLinear",
@@ -133,6 +134,12 @@ class HybridLinear(Module):
         self._calibrating = False
         self._x_absmax = 0.0
         self._h_absmax = 0.0
+        # Sharded (tensor-parallel) deployment state — see :meth:`deploy`.
+        self._mesh = None
+        self._chip = 0
+        self._rank_slices: list[tuple[int, int]] | None = None
+        self._shard_splits: list[HybridSplit] | None = None
+        self._shard_parallel = False
 
         # INT8 weight quantization (per-tensor, symmetric) for both factors.
         self._a_codes, self._a_params = quantize(plan.a_matrix, num_bits=8)
@@ -180,7 +187,13 @@ class HybridLinear(Module):
         data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=get_default_dtype())
         original_shape = data.shape
         flat = data.reshape(-1, original_shape[-1])
-        if self.mode == "fast":
+        if self._rank_slices is not None:
+            out = (
+                self._forward_fast_sharded(flat)
+                if self.mode == "fast"
+                else self._forward_crossbar_sharded(flat)
+            )
+        elif self.mode == "fast":
             out = self._forward_fast(flat)
         else:
             out = self._forward_crossbar(flat)
@@ -234,6 +247,228 @@ class HybridLinear(Module):
         return self._x_params if which == "x" else self._h_params
 
     # ------------------------------------------------------------------
+    # Sharded (tensor-parallel) deployment — paper Section 3.1, cases 1-2
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        mesh,
+        rank_slices: list[tuple[int, int]] | None = None,
+        *,
+        tensor_parallel: int | None = None,
+        chip: int = 0,
+        parallel: bool = False,
+    ) -> list[tuple[int, int]]:
+        """Partition this layer's mapped arrays into tensor-parallel shards.
+
+        ``mesh`` is a :class:`~repro.dist.DeviceMesh` (its traffic ledger
+        receives the OCI partial-sum aggregation every sharded forward
+        performs).  ``rank_slices`` gives explicit contiguous shard ranges
+        (from a :class:`~repro.dist.ShardPlan`); alternatively
+        ``tensor_parallel`` derives a balanced partition.  ``parallel``
+        fans the per-shard GEMVs out over threads
+        (:func:`repro.utils.parallel.map_with_threads`) — the fast kernel's
+        BLAS matmuls release the GIL.
+
+        Crossbar mode programs one :class:`~repro.rram.mapping.HybridSplit`
+        per shard (per-shard seeded noise draws; a 1-way deployment
+        reproduces the unsharded programming bit-for-bit).  Fast mode
+        slices the already-noised Eq. (5) factors.  Returns the shard
+        ranges deployed.
+        """
+        if rank_slices is None:
+            rank_slices = partition_rank(
+                self.rank, tensor_parallel or 1, tile=self.config.rows
+            )
+        else:
+            rank_slices = [(int(a), int(b)) for a, b in rank_slices]
+        if not rank_slices:
+            raise ValueError("rank_slices must contain at least one shard")
+        cursor = 0
+        for start, stop in rank_slices:
+            if start != cursor or stop <= start:
+                raise ValueError(
+                    f"rank_slices must be contiguous, non-empty and ordered; "
+                    f"got {rank_slices}"
+                )
+            cursor = stop
+        if cursor != self.rank:
+            raise ValueError(
+                f"rank_slices cover [0, {cursor}) but the layer rank is {self.rank}"
+            )
+
+        if self.mode == "crossbar":
+            num_shards = len(rank_slices)
+            splits = []
+            for index, (start, stop) in enumerate(rank_slices):
+                # A 1-way deployment reuses the layer seed, so its noise
+                # draws — and therefore its outputs — match the unsharded
+                # split exactly.  Multi-way shards get decorrelated seeds.
+                seed = self.seed if num_shards == 1 else self.seed + 104729 * (index + 1)
+                splits.append(
+                    split_by_rank(
+                        self._a_codes,
+                        self._b_codes,
+                        self.plan.protected_ranks,
+                        noise=self.noise,
+                        config=self.config,
+                        mlc_cell=self.mlc_cell,
+                        seed=seed,
+                        policy=self.policy,
+                        rank_range=(start, stop),
+                        shard_index=index,
+                        num_shards=num_shards,
+                    )
+                )
+            self._shard_splits = splits
+        else:
+            self._shard_splits = None
+        self._mesh = mesh
+        self._chip = chip
+        self._rank_slices = rank_slices
+        self._shard_parallel = parallel
+        self._arrays_used = None  # footprint now counts per-shard tiling
+        return rank_slices
+
+    def undeploy(self) -> None:
+        """Drop the sharded deployment (back to the single-device forward)."""
+        self._mesh = None
+        self._chip = 0
+        self._rank_slices = None
+        self._shard_splits = None
+        self._shard_parallel = False
+        self._arrays_used = None
+
+    @property
+    def is_sharded(self) -> bool:
+        return self._rank_slices is not None
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._rank_slices) if self._rank_slices is not None else 1
+
+    def _shard_map(self, fn, items):
+        workers = len(items) if self._shard_parallel else 1
+        return map_with_threads(fn, items, workers)
+
+    def _record_shard_traffic(self, batch: int, calibrated: bool) -> None:
+        """OCI cost of one sharded forward: stage-2 partial-sum aggregation
+        (4 B INT32 partial sums per output element from every non-aggregating
+        shard) plus, when activation scales are derived per call, the
+        scalar absmax sync that keeps shard quantization coherent."""
+        shards = self.num_shards
+        if self._mesh is None or shards < 2:
+            return
+        self._mesh.record_partial_sum_aggregation(
+            shards, float(batch) * self.out_features * 4
+        )
+        if not calibrated:
+            self._mesh.record("oci", (shards - 1) * 8.0, transfers=shards - 1)
+
+    def _forward_crossbar_sharded(self, flat: np.ndarray) -> np.ndarray:
+        """Tensor-parallel crossbar forward over the deployed shards.
+
+        Noiseless, this is bitwise-equal to :meth:`_forward_crossbar` under
+        the fast kernel: stage-1 shards compute disjoint column slices of
+        the same integer hidden vector; stage-2 partial sums accumulate in
+        int64 before the one float scaling the unsharded path also applies.
+        Activation quantization uses the same global scales (derived from
+        the full hidden vector — hardware syncs a scalar absmax over the
+        OCI, accounted in the traffic ledger).
+        """
+        dtype = get_default_dtype()
+        splits = self._shard_splits
+        slices = self._rank_slices
+        protected = self.plan.protected_ranks
+
+        x_codes, x_params = quantize(
+            flat, num_bits=_ACTIVATION_BITS, params=self._active_params("x")
+        )
+        scale_in = np.asarray(x_params.scale) * np.asarray(self._a_params.scale)
+
+        # Stage 1: every shard computes its own column slice of the hidden
+        # vector from the broadcast input codes (no partial sums yet).
+        def stage1(item):
+            split = item
+            parts = {}
+            if split.slc_a is not None:
+                parts["slc"] = split.slc_a.gemv(x_codes)
+            if split.mlc_a is not None:
+                parts["mlc"] = split.mlc_a.gemv(x_codes)
+            return parts
+
+        stage1_parts = self._shard_map(stage1, list(splits))
+        hidden = np.zeros((flat.shape[0], self.rank), dtype=dtype)
+        for (start, stop), parts in zip(slices, stage1_parts):
+            local_protected = protected[start:stop]
+            view = hidden[:, start:stop]
+            if "slc" in parts:
+                view[:, local_protected] = parts["slc"] * scale_in
+            if "mlc" in parts:
+                view[:, ~local_protected] = parts["mlc"] * scale_in
+
+        # Stage 2: shard s consumes its own hidden slice (requantized with
+        # the *global* scale) and produces an additive partial sum of the
+        # full output; partials reduce in int64 over the OCI.
+        h_codes, h_params = quantize(
+            hidden, num_bits=_ACTIVATION_BITS, params=self._active_params("h")
+        )
+        scale_out = np.asarray(h_params.scale) * np.asarray(self._b_params.scale)
+
+        def stage2(item):
+            (start, stop), split = item
+            local_protected = protected[start:stop]
+            h_local = h_codes[:, start:stop]
+            slc = mlc = None
+            if split.slc_b is not None:
+                slc = split.slc_b.gemv(h_local[:, local_protected])
+            if split.mlc_b is not None:
+                mlc = split.mlc_b.gemv(h_local[:, ~local_protected])
+            return slc, mlc
+
+        stage2_parts = self._shard_map(stage2, list(zip(slices, splits)))
+        slc_acc = np.zeros((flat.shape[0], self.out_features), dtype=np.int64)
+        mlc_acc = np.zeros_like(slc_acc)
+        have_slc = have_mlc = False
+        for slc, mlc in stage2_parts:
+            if slc is not None:
+                slc_acc += slc
+                have_slc = True
+            if mlc is not None:
+                mlc_acc += mlc
+                have_mlc = True
+
+        out = np.zeros((flat.shape[0], self.out_features), dtype=dtype)
+        if have_slc:
+            out += slc_acc * scale_out
+        if have_mlc:
+            out += mlc_acc * scale_out
+        if self._calibrating:
+            self._x_absmax = max(self._x_absmax, float(np.abs(flat).max(initial=0.0)))
+            self._h_absmax = max(self._h_absmax, float(np.abs(hidden).max(initial=0.0)))
+        self._record_shard_traffic(flat.shape[0], self._active_params("h") is not None)
+        return out
+
+    def _forward_fast_sharded(self, flat: np.ndarray) -> np.ndarray:
+        """Sharded Eq. (5) fast path over slices of the noised factors.
+
+        Stage-1 hidden slices are exact column slices of the unsharded
+        product; stage-2 partial sums recombine additively (float — equal
+        to the unsharded matmul up to summation order)."""
+        slices = self._rank_slices
+
+        def shard_out(item):
+            start, stop = item
+            hidden = flat @ self._noisy_a[start:stop].T
+            return hidden @ self._noisy_b[:, start:stop].T
+
+        parts = self._shard_map(shard_out, list(slices))
+        out = parts[0]
+        for part in parts[1:]:
+            out = out + part
+        self._record_shard_traffic(flat.shape[0], calibrated=True)
+        return out
+
+    # ------------------------------------------------------------------
     # Activation-scale calibration (serving deployment path)
     # ------------------------------------------------------------------
     def begin_calibration(self) -> None:
@@ -281,25 +516,53 @@ class HybridLinear(Module):
         now it sums the same :func:`array_footprint` terms analytically.
         """
         if self._arrays_used is None:
-            if self._split is not None:
+            if self._shard_splits is not None:
+                self._arrays_used = sum(s.arrays_used for s in self._shard_splits)
+            elif self._rank_slices is not None:
+                # Sharded fast mode: per-shard tiling, computed analytically.
+                total = 0
+                for start, stop in self._rank_slices:
+                    local = self.plan.protected_ranks[start:stop]
+                    total += self._analytic_footprint(int(local.sum()), stop - start)
+                self._arrays_used = total
+            elif self._split is not None:
                 self._arrays_used = self._split.arrays_used
             else:
                 n_protected = int(self.plan.protected_ranks.sum())
-                n_mlc = self.rank - n_protected
-                total = 0
-                if n_protected:
-                    total += array_footprint(n_protected, self.in_features, SLC, self.config)
-                    total += array_footprint(self.out_features, n_protected, SLC, self.config)
-                if n_mlc:
-                    total += array_footprint(n_mlc, self.in_features, self.mlc_cell, self.config)
-                    total += array_footprint(self.out_features, n_mlc, self.mlc_cell, self.config)
-                self._arrays_used = total
+                self._arrays_used = self._analytic_footprint(n_protected, self.rank)
         return self._arrays_used
 
+    def _analytic_footprint(self, n_protected: int, rank: int) -> int:
+        """Array footprint of ``rank`` ranks with ``n_protected`` on SLC."""
+        n_mlc = rank - n_protected
+        total = 0
+        if n_protected:
+            total += array_footprint(n_protected, self.in_features, SLC, self.config)
+            total += array_footprint(self.out_features, n_protected, SLC, self.config)
+        if n_mlc:
+            total += array_footprint(n_mlc, self.in_features, self.mlc_cell, self.config)
+            total += array_footprint(self.out_features, n_mlc, self.mlc_cell, self.config)
+        return total
+
     def merged_stats(self) -> GemvStats:
-        if self._split is None:
-            return GemvStats()
-        return self._split.merged_stats()
+        total = GemvStats()
+        for split in self._active_splits():
+            total.merge(split.merged_stats())
+        return total
+
+    def shard_stats(self) -> list[GemvStats]:
+        """Per-shard GEMV operation counts (crossbar mode).
+
+        One entry per deployed shard (a single entry when unsharded); the
+        serving engine threads these through to per-shard energy/latency
+        accounting.
+        """
+        return [split.merged_stats() for split in self._active_splits()]
+
+    def _active_splits(self) -> list[HybridSplit]:
+        if self._shard_splits is not None:
+            return self._shard_splits
+        return [self._split] if self._split is not None else []
 
     def reset_stats(self) -> None:
         """Zero the accumulated GEMV operation counts (crossbar mode).
@@ -307,16 +570,10 @@ class HybridLinear(Module):
         Used after deploy-time calibration so served-traffic accounting does
         not include the calibration forward.
         """
-        if self._split is None:
-            return
-        for mapped in (
-            self._split.slc_a,
-            self._split.mlc_a,
-            self._split.slc_b,
-            self._split.mlc_b,
-        ):
-            if mapped is not None:
-                mapped.stats = GemvStats()
+        for split in self._active_splits():
+            for mapped in (split.slc_a, split.mlc_a, split.slc_b, split.mlc_b):
+                if mapped is not None:
+                    mapped.stats = GemvStats()
 
     def __repr__(self) -> str:
         return (

@@ -28,7 +28,14 @@ from repro.rram.kernels import (
     reference_gemv,
     set_default_kernel_policy,
 )
-from repro.rram.mapping import HybridSplit, MappedMatrix, array_footprint, split_by_rank
+from repro.rram.mapping import (
+    HybridSplit,
+    MappedMatrix,
+    ShardSpec,
+    array_footprint,
+    partition_rank,
+    split_by_rank,
+)
 from repro.rram.noise import (
     DEFAULT_NOISE,
     MEASURED_MLC2_BER,
@@ -59,6 +66,7 @@ __all__ = [
     "SLC",
     "SLC_PRECISION_RATIO",
     "SarAdc",
+    "ShardSpec",
     "WearReport",
     "WeightSlices",
     "KernelPolicy",
@@ -71,6 +79,7 @@ __all__ = [
     "input_bit_weights",
     "kernel_policy",
     "level_error_rate",
+    "partition_rank",
     "reference_gemv",
     "required_adc_bits",
     "set_default_kernel_policy",

@@ -24,7 +24,14 @@ from repro.rram.crossbar import CrossbarConfig, GemvStats, ProgrammedMatrix
 from repro.rram.kernels import KernelPolicy
 from repro.rram.noise import DEFAULT_NOISE, NoiseSpec
 
-__all__ = ["array_footprint", "MappedMatrix", "HybridSplit", "split_by_rank"]
+__all__ = [
+    "array_footprint",
+    "ShardSpec",
+    "MappedMatrix",
+    "HybridSplit",
+    "split_by_rank",
+    "partition_rank",
+]
 
 
 def array_footprint(
@@ -46,9 +53,89 @@ def array_footprint(
     return row_tiles * col_tiles
 
 
+@dataclass(frozen=True)
+class ShardSpec:
+    """Which slice of a logical rank dimension a mapped shard carries.
+
+    Tensor-parallel deployment (paper Section 3.1, cases 1-2) partitions one
+    logical factored matrix across processing units: shard ``index`` of
+    ``count`` holds ranks ``[start, stop)`` of a logical ``logical_rank``-wide
+    matrix.  A :class:`MappedMatrix` carrying a ``shard`` knows it computes a
+    partial result that recombines with its siblings over the interconnect
+    (column slices of the stage-1 hidden vector; additive partial sums for
+    stage 2).
+    """
+
+    index: int
+    count: int
+    start: int
+    stop: int
+    logical_rank: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.count:
+            raise ValueError(f"shard index {self.index} outside [0, {self.count})")
+        if not 0 <= self.start <= self.stop <= self.logical_rank:
+            raise ValueError(
+                f"shard range [{self.start}, {self.stop}) outside "
+                f"[0, {self.logical_rank})"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.stop - self.start
+
+
+def partition_rank(rank: int, parts: int, tile: int = 1) -> list[tuple[int, int]]:
+    """Balanced contiguous partition of ``[0, rank)`` into ``parts`` slices.
+
+    ``tile`` is the physical array row count: shard boundaries align to
+    whole row tiles whenever there are at least as many tiles as shards, so
+    tensor parallelism splits *mapped arrays* rather than cutting through
+    one array's wordlines.  Tile-aligned shards see exactly the per-tile
+    analog sums of the unsharded mapping, which keeps the sharded GEMV
+    bitwise-equal even where the ADC saturates — **provided the SLC/MLC
+    protected prefix is itself tile-aligned**: :func:`split_by_rank`
+    compacts protected and unprotected ranks into separate matrices before
+    tiling, so accumulation-tile boundaries live in compacted space, and a
+    protected count that is not a multiple of ``tile`` shifts them.  When
+    ``parts`` exceeds the tile count the partition falls back to sub-tile
+    granularity.  In either unaligned regime, equality requires a
+    saturation-free deployment (the ADC clips per tile; noiseless
+    saturation-free GEMVs are exact regardless of tiling).
+
+    Empty slices are dropped (a 3-rank layer on a 4-way mesh yields three
+    shards), so every returned slice is non-empty and they cover the rank
+    dimension exactly once, in order.
+    """
+    if rank < 0:
+        raise ValueError(f"rank must be non-negative, got {rank}")
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if tile < 1:
+        raise ValueError(f"tile must be >= 1, got {tile}")
+    num_tiles = -(-rank // tile) if rank else 0
+    if 0 < parts <= num_tiles:
+        tile_bounds = [(num_tiles * p) // parts for p in range(parts + 1)]
+        bounds = [min(rank, t * tile) for t in tile_bounds]
+    else:
+        bounds = [(rank * p) // parts for p in range(parts + 1)]
+    return [
+        (bounds[p], bounds[p + 1])
+        for p in range(parts)
+        if bounds[p + 1] > bounds[p]
+    ]
+
+
 @dataclass
 class MappedMatrix:
-    """A weight matrix resident in (simulated) analog RRAM arrays."""
+    """A weight matrix resident in (simulated) analog RRAM arrays.
+
+    ``shard`` (optional) marks this matrix as one tensor-parallel shard of a
+    larger logical matrix — see :class:`ShardSpec`.  Shards are programmed
+    exactly like standalone matrices (their noise is drawn from their own
+    seed), they just additionally know their place in the logical layout.
+    """
 
     weight_codes: np.ndarray  # (out, in) signed INT8 codes
     cell: CellType
@@ -57,6 +144,7 @@ class MappedMatrix:
     weight_bits: int = 8
     seed: int = 0
     policy: KernelPolicy | None = None
+    shard: ShardSpec | None = None
     stats: GemvStats = field(default_factory=GemvStats)
 
     def __post_init__(self) -> None:
@@ -107,13 +195,19 @@ class MappedMatrix:
 
 @dataclass
 class HybridSplit:
-    """The SLC/MLC partition of one factored layer's rank dimension."""
+    """The SLC/MLC partition of one factored layer's rank dimension.
 
-    protected: np.ndarray  # boolean (rank,)
+    When ``shard`` is set, this split holds only ranks ``[shard.start,
+    shard.stop)`` of the layer (one tensor-parallel shard); ``protected``
+    is then the local mask over that slice.
+    """
+
+    protected: np.ndarray  # boolean (rank,) — local to the shard if any
     slc_a: MappedMatrix | None  # protected rows of A on SLC
     mlc_a: MappedMatrix | None  # remaining rows of A on MLC
     slc_b: MappedMatrix | None  # protected columns of B on SLC
     mlc_b: MappedMatrix | None  # remaining columns of B on MLC
+    shard: ShardSpec | None = None
 
     @property
     def arrays_used(self) -> int:
@@ -140,6 +234,9 @@ def split_by_rank(
     mlc_cell: CellType = MLC2,
     seed: int = 0,
     policy: KernelPolicy | None = None,
+    rank_range: tuple[int, int] | None = None,
+    shard_index: int = 0,
+    num_shards: int = 1,
 ) -> HybridSplit:
     """Place factored weights on SLC/MLC arrays according to ``protected``.
 
@@ -147,6 +244,15 @@ def split_by_rank(
     ``b_codes`` of ``B = U`` (out x rank).  Row ``i`` of A and column ``i``
     of B share rank ``i``'s protection decision, so a protected singular
     direction is SLC end-to-end.
+
+    ``rank_range`` (with ``shard_index`` / ``num_shards``) carves one
+    tensor-parallel shard out of the logical layer: only ranks ``[start,
+    stop)`` are mapped, and every resulting :class:`MappedMatrix` carries a
+    :class:`ShardSpec` tying it back to the logical matrix.  A-shards are
+    row partitions (each computes a column slice of the hidden vector);
+    B-shards are column partitions (each computes an additive partial sum
+    of the layer output, recombined over the interconnect — the paper's
+    OCI partial-sum aggregation).
     """
     protected = np.asarray(protected, dtype=bool)
     rank = len(protected)
@@ -159,6 +265,22 @@ def split_by_rank(
     noise = noise or DEFAULT_NOISE
     config = config or CrossbarConfig()
 
+    shard: ShardSpec | None = None
+    if rank_range is not None:
+        start, stop = rank_range
+        shard = ShardSpec(
+            index=shard_index,
+            count=num_shards,
+            start=start,
+            stop=stop,
+            logical_rank=rank,
+        )
+        a_codes = a_codes[start:stop, :]
+        b_codes = b_codes[:, start:stop]
+        protected = protected[start:stop]
+    elif num_shards != 1 or shard_index != 0:
+        raise ValueError("shard_index/num_shards require rank_range")
+
     def mapped(codes: np.ndarray, cell: CellType, salt: int) -> MappedMatrix | None:
         if codes.size == 0:
             return None
@@ -169,6 +291,7 @@ def split_by_rank(
             config=config,
             seed=seed + salt,
             policy=policy,
+            shard=shard,
         )
 
     return HybridSplit(
@@ -177,4 +300,5 @@ def split_by_rank(
         mlc_a=mapped(a_codes[~protected, :], mlc_cell, 2),
         slc_b=mapped(b_codes[:, protected], SLC, 3),
         mlc_b=mapped(b_codes[:, ~protected], mlc_cell, 4),
+        shard=shard,
     )

@@ -110,6 +110,9 @@ class ServingStats:
     batches: int = 0
     iterations: int = 0
     decode_wall_s: float = 0.0  # time spent inside model forwards
+    #: Hardware-projected pipeline occupancy (sum of per-request shares on
+    #: the deployed mesh); 0 when the engine carries no shard plan.
+    projected_busy_s: float = 0.0
     latencies_s: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
     ttfts_s: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
     tpots_s: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
@@ -118,6 +121,13 @@ class ServingStats:
     @property
     def tokens_per_s(self) -> float:
         return self.tokens_generated / self.decode_wall_s if self.decode_wall_s else 0.0
+
+    @property
+    def projected_tokens_per_s(self) -> float:
+        """Generated tokens over hardware-projected busy time (steady state)."""
+        return (
+            self.tokens_generated / self.projected_busy_s if self.projected_busy_s else 0.0
+        )
 
     @property
     def mean_latency_s(self) -> float:
@@ -151,6 +161,8 @@ class ServingStats:
             "iterations": self.iterations,
             "decode_wall_s": round(self.decode_wall_s, 6),
             "tokens_per_s": round(self.tokens_per_s, 2),
+            "projected_busy_s": round(self.projected_busy_s, 9),
+            "projected_tokens_per_s": round(self.projected_tokens_per_s, 2),
             "mean_latency_s": round(self.mean_latency_s, 6),
             "p95_latency_s": round(self.p95_latency_s, 6),
             "mean_ttft_s": round(self.mean_ttft_s, 6),
@@ -212,6 +224,7 @@ class ServingEngine:
         clock: Callable[[], float] = time.perf_counter,
         scheduler: str = "continuous",
         max_tokens: int | None = None,
+        shard_plan=None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -255,6 +268,17 @@ class ServingEngine:
         for name, module in model.named_modules():
             if isinstance(module, HybridLinear):
                 self._hybrid_layers[name] = module
+        # Sharded multi-chip deployment (tensor/pipeline parallelism): the
+        # plan drives hardware-projected latency per request and routes
+        # pipeline handoff traffic into the mesh's ledger.
+        self.shard_plan = shard_plan
+        self._projection = None
+        if shard_plan is not None:
+            from repro.dist import HardwareProjection
+
+            self._projection = HardwareProjection(
+                shard_plan, hidden_dim=model.config.d_model
+            )
 
     # ------------------------------------------------------------------
     # Deployment helpers
@@ -269,6 +293,9 @@ class ServingEngine:
         mode: str = "fast",
         seed: int = 0,
         policy=None,
+        mesh=None,
+        tensor_parallel: int = 1,
+        shard_parallel: bool = False,
         **engine_kwargs,
     ) -> "ServingEngine":
         """Attach hybrid SLC/MLC layers to ``model`` and wrap it in an engine.
@@ -278,6 +305,15 @@ class ServingEngine:
         once to freeze activation quantization scales (meaningful for
         ``mode="crossbar"``; a no-op for the fast Eq. 5 path, which does not
         quantize activations).
+
+        ``mesh`` (a :class:`~repro.dist.DeviceMesh`) enables sharded
+        multi-chip execution: a :class:`~repro.dist.ShardPlan` is derived
+        from the HyFlexPIM chip mapper, every attached layer is partitioned
+        into ``tensor_parallel`` rank shards (``shard_parallel=True`` fans
+        the shard GEMVs over threads), and the engine reports
+        hardware-projected latency per request plus the interconnect
+        traffic actually exercised.  Calibration runs *after* sharding so
+        frozen scales observe the serving-path activations.
         """
         import copy
 
@@ -285,6 +321,14 @@ class ServingEngine:
         attached = attach_hybrid_layers(
             deployed, plans, noise=noise, mode=mode, seed=seed, policy=policy
         )
+        if mesh is not None:
+            from repro.dist import ShardPlan, deploy_sharded
+
+            plan = ShardPlan.build(
+                plans, mesh, tensor_parallel=tensor_parallel, noise=noise, seed=seed
+            )
+            deploy_sharded(attached, plan, parallel=shard_parallel)
+            engine_kwargs.setdefault("shard_plan", plan)
         if calibration_prompts is not None and mode == "crossbar":
             prompts = np.atleast_2d(np.asarray(calibration_prompts))
             # Serving always decodes in eval mode (generate() enforces it);
@@ -297,9 +341,12 @@ class ServingEngine:
 
             calibrate_activations(attached, run_calibration)
             # Served-traffic accounting starts from zero: the calibration
-            # forward must not inflate gemv_stats()' energy inputs.
+            # forward must not inflate gemv_stats()' energy inputs — nor
+            # the mesh's exercised-link ledger (hardware_report()).
             for layer in attached.values():
                 layer.reset_stats()
+            if mesh is not None:
+                mesh.reset_traffic()
         return cls(deployed, **engine_kwargs)
 
     # ------------------------------------------------------------------
@@ -539,6 +586,23 @@ class ServingEngine:
             self.stats.ttfts_s.append(result.ttft_s)
             self.stats.tpots_s.append(result.tpot_s)
             self.stats.batch_sizes.append(result.batch_size)
+            if self._projection is not None:
+                prompt_len = int(result.prompt.shape[0])
+                generated = int(result.tokens.size)
+                result.projected_latency_s = self._projection.request_latency_s(
+                    prompt_len, generated
+                )
+                self.stats.projected_busy_s += self._projection.request_busy_s(
+                    prompt_len, generated
+                )
+                # Every position of this request crossed each chip boundary
+                # once (case 3): record the PCIe-6.0 hidden-vector traffic
+                # actually exercised by the pipeline layout.
+                self.shard_plan.mesh.record_pipeline_handoff(
+                    self.model.config.d_model,
+                    tokens=prompt_len + generated,
+                    boundaries=self.shard_plan.pipeline_boundaries,
+                )
 
     # ------------------------------------------------------------------
     # Hardware accounting
@@ -556,6 +620,39 @@ class ServingEngine:
         for layer in self._hybrid_layers.values():
             total.merge(layer.merged_stats())
         return total
+
+    def shard_gemv_stats(self) -> list[GemvStats]:
+        """Per-shard-index operation counts merged across deployed layers.
+
+        Entry ``s`` aggregates every layer's shard ``s`` (layers with fewer
+        shards simply contribute to fewer entries); an undeployed engine
+        returns a single merged entry.  This is the per-worker load picture
+        tensor-parallel energy accounting needs — balanced slices should
+        show balanced ADC/wordline counts.
+        """
+        per_shard: list[GemvStats] = []
+        for layer in self._hybrid_layers.values():
+            for index, stats in enumerate(layer.shard_stats()):
+                while len(per_shard) <= index:
+                    per_shard.append(GemvStats())
+                per_shard[index].merge(stats)
+        return per_shard
+
+    def hardware_report(self) -> dict:
+        """Projected timing + interconnect traffic of the sharded deployment.
+
+        ``None`` when the engine carries no shard plan.  The report couples
+        the plan's projected rate/latency with the mesh's traffic ledger —
+        i.e. the transfer cycles of the links this engine's traffic
+        *actually exercised* — plus the engine's projected throughput over
+        everything served so far.
+        """
+        if self._projection is None:
+            return None
+        report = self._projection.report()
+        report["projected_tokens_per_s"] = round(self.stats.projected_tokens_per_s, 1)
+        report["tokens_generated"] = self.stats.tokens_generated
+        return report
 
     @property
     def hybrid_layers(self) -> dict[str, HybridLinear]:

@@ -63,6 +63,14 @@ class RequestResult:
         token) / (n - 1)`` under continuous scheduling (0 for single-token
         results); batch wall-clock per emitted token under static
         scheduling.
+    ``projected_latency_s``
+        Hardware-projected end-to-end latency on the deployed mesh
+        (``None`` unless the engine carries a
+        :class:`~repro.dist.ShardPlan`): serial pipeline fill for the
+        first position plus every remaining prompt/generated position at
+        the plan's steady-state rate, interconnect costs (OCI partial-sum
+        aggregation, PCIe-6.0 pipeline handoffs) included — see
+        :meth:`repro.dist.HardwareProjection.request_latency_s`.
     """
 
     request_id: int
@@ -73,6 +81,7 @@ class RequestResult:
     batch_size: int  # concurrently-decoding requests when this one finished
     ttft_s: float = 0.0
     tpot_s: float = 0.0
+    projected_latency_s: float | None = None
 
     @property
     def full_sequence(self) -> np.ndarray:

@@ -39,10 +39,39 @@ class TestInterconnect:
         with pytest.raises(ValueError):
             partial_sum_aggregation_cycles(0)
 
+    def test_link_construction_validation(self):
+        """Bandwidth/overhead are validated up front, not silently divided."""
+        from repro.arch.interconnect import Link
+
+        with pytest.raises(ValueError):
+            Link("bad", bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            Link("bad", bandwidth_gbps=-128.0)
+        with pytest.raises(ValueError):
+            Link("bad", bandwidth_gbps=128.0, launch_overhead_cycles=-1.0)
+
+    def test_transfer_cycles_clock_validation(self):
+        with pytest.raises(ValueError):
+            transfer_cycles(OCI_LINK, 1024, clock_hz=0.0)
+        with pytest.raises(ValueError):
+            transfer_cycles(OCI_LINK, 1024, clock_hz=-1e9)
+
     def test_transfer_cycles_scale_linearly(self):
         a = transfer_cycles(OCI_LINK, 1024)
         b = transfer_cycles(OCI_LINK, 2048)
         assert b == pytest.approx(2 * a)
+
+    def test_bandwidths_have_one_source_of_truth(self):
+        """ChipConfig/HardwareConfig derive their bus speeds from the
+        canonical links — and those pin the paper's Section 3.1 numbers."""
+        from repro.arch.config import DEFAULT_HARDWARE
+        from repro.pim.chip import ChipConfig
+
+        chip = ChipConfig()
+        assert chip.inner_bus_gbps == OCI_LINK.bandwidth_gbps == 1000.0
+        assert chip.global_bus_gbps == PCIE6_LINK.bandwidth_gbps == 128.0
+        assert DEFAULT_HARDWARE.oci_gbps == OCI_LINK.bandwidth_gbps
+        assert DEFAULT_HARDWARE.pcie_gbps == PCIE6_LINK.bandwidth_gbps
 
 
 class TestScalability:

@@ -1,0 +1,108 @@
+"""Property tests for the Fig. 17 scalability model (ISSUE-5 satellite).
+
+``test_interconnect_scaling.py`` pins the paper's specific numbers; these
+hypothesis-driven tests pin the model's *shape* over the configuration
+space the mesh planner relies on:
+
+- ``ScalingReport.fits`` is monotone in ``num_chips`` — once a deployment
+  fits, adding chips can never make it stop fitting;
+- throughput (and hence the normalized curve) is non-decreasing in the PUs
+  devoted to each layer, as long as the PU budget actually holds them
+  (``num_layers x pus_per_layer <= num_chips x 24`` — beyond the budget
+  extra "ways" only add OCI aggregation cost, which the paper's own
+  near-linear-with-shave curve reflects).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.scaling import ScalabilityModel
+from repro.models.configs import ModelSpec
+
+MODEL = ScalabilityModel()
+
+
+def make_spec(num_layers: int, d_model: int, d_ff_mult: int) -> ModelSpec:
+    return ModelSpec(
+        name="prop",
+        kind="decoder",
+        num_layers=num_layers,
+        d_model=d_model,
+        num_heads=2,
+        d_ff=d_model * d_ff_mult,
+        vocab_size=1000,
+        max_seq_len=8192,
+    )
+
+
+spec_strategy = st.builds(
+    make_spec,
+    num_layers=st.integers(min_value=1, max_value=24),
+    d_model=st.sampled_from([64, 256, 768, 2048]),
+    d_ff_mult=st.sampled_from([2, 4]),
+)
+
+
+class TestFitsMonotoneInChips:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        spec=spec_strategy,
+        slc_rate=st.sampled_from([0.0, 0.1, 0.3, 1.0]),
+        seq_len=st.sampled_from([512, 4096, 8192]),
+        chips=st.integers(min_value=1, max_value=8),
+    )
+    def test_fitting_deployment_still_fits_with_more_chips(
+        self, spec, slc_rate, seq_len, chips
+    ):
+        first = MODEL.throughput(spec, seq_len, slc_rate, chips)
+        second = MODEL.throughput(spec, seq_len, slc_rate, chips + 1)
+        assert (not first.fits) or second.fits
+
+    @settings(max_examples=20, deadline=None)
+    @given(spec=spec_strategy, slc_rate=st.sampled_from([0.1, 0.5]))
+    def test_min_chips_is_the_fit_threshold(self, spec, slc_rate):
+        """min_chips' answer fits; one chip fewer (if any) does not."""
+        needed = MODEL.min_chips(spec, slc_rate, 4096)
+        ppl = MODEL.min_pus_per_layer(spec, slc_rate)
+        assert MODEL.throughput(spec, 4096, slc_rate, needed, pus_per_layer=ppl).fits
+        if needed > 1:
+            report = MODEL.throughput(
+                spec, 4096, slc_rate, needed - 1, pus_per_layer=ppl
+            )
+            assert not report.fits
+
+
+class TestThroughputMonotoneInPus:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        spec=spec_strategy,
+        slc_rate=st.sampled_from([0.0, 0.2, 1.0]),
+        seq_len=st.sampled_from([512, 8192]),
+        pus=st.integers(min_value=1, max_value=12),
+        chips=st.integers(min_value=1, max_value=4),
+    )
+    def test_tokens_per_second_non_decreasing_in_pus_per_layer(
+        self, spec, slc_rate, seq_len, pus, chips
+    ):
+        if spec.num_layers * (pus + 1) > chips * MODEL.hardware.num_pus:
+            return  # beyond the PU budget the extra ways are not realizable
+        low = MODEL.throughput(spec, seq_len, slc_rate, chips, pus_per_layer=pus)
+        high = MODEL.throughput(spec, seq_len, slc_rate, chips, pus_per_layer=pus + 1)
+        assert high.tokens_per_second >= low.tokens_per_second * (1 - 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(spec=spec_strategy, slc_rate=st.sampled_from([0.1, 0.4]))
+    def test_normalized_curve_non_decreasing_within_budget(self, spec, slc_rate):
+        """The normalized Fig. 17 series rises with PUs per layer."""
+        budget = MODEL.hardware.num_pus // spec.num_layers
+        ways = [w for w in (1, 2, 4) if w <= max(1, budget)]
+        if len(ways) < 2:
+            return
+        rates = [
+            MODEL.throughput(spec, 4096, slc_rate, 1, pus_per_layer=w).tokens_per_second
+            for w in ways
+        ]
+        normalized = [r / rates[0] for r in rates]
+        assert normalized == sorted(normalized)

@@ -1,0 +1,173 @@
+"""Tests for rank partitioning and the mapper-derived ShardPlan."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import DeviceMesh, ShardPlan, deploy_sharded, shard_layer_plan
+from repro.pim.chip import ChipConfig, group_layers_by_block
+from repro.rram.mapping import ShardSpec, partition_rank
+from repro.svd.pipeline import LayerPlan
+
+
+def make_plans(rng, num_blocks=2, d=16, ff=32, protected_quarter=True):
+    """Synthetic per-block LayerPlans shaped like a tiny Transformer."""
+    plans = {}
+    for block in range(num_blocks):
+        for leaf, (out_f, in_f) in {
+            "attn.q": (d, d),
+            "ffn1": (ff, d),
+        }.items():
+            rank = min(out_f, in_f)
+            mask = np.zeros(rank, dtype=bool)
+            if protected_quarter:
+                mask[: max(1, rank // 4)] = True
+            name = f"blocks.{block}.{leaf}"
+            plans[name] = LayerPlan(
+                name=name,
+                a_matrix=rng.normal(size=(rank, in_f)) / np.sqrt(in_f),
+                b_matrix=rng.normal(size=(out_f, rank)) / np.sqrt(rank),
+                bias=rng.normal(size=out_f),
+                protected_ranks=mask,
+                sigma_gradients=rng.random(rank),
+            )
+    return plans
+
+
+class TestPartitionRank:
+    def test_balanced_and_contiguous(self):
+        slices = partition_rank(10, 4)
+        assert slices == [(0, 2), (2, 5), (5, 7), (7, 10)]
+        widths = [b - a for a, b in slices]
+        assert max(widths) - min(widths) <= 1
+
+    def test_drops_empty_slices(self):
+        assert partition_rank(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_single_part_is_identity(self):
+        assert partition_rank(7, 1) == [(0, 7)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_rank(-1, 2)
+        with pytest.raises(ValueError):
+            partition_rank(4, 0)
+
+
+class TestShardSpec:
+    def test_width(self):
+        spec = ShardSpec(index=1, count=4, start=4, stop=8, logical_rank=16)
+        assert spec.width == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardSpec(index=4, count=4, start=0, stop=4, logical_rank=16)
+        with pytest.raises(ValueError):
+            ShardSpec(index=0, count=1, start=8, stop=4, logical_rank=16)
+
+
+class TestShardLayerPlan:
+    def test_slices_rank_dim_and_drops_bias(self, rng):
+        plans = make_plans(rng)
+        plan = plans["blocks.0.attn.q"]
+        shard = shard_layer_plan(plan, 4, 12)
+        assert shard.a_matrix.shape == (8, plan.a_matrix.shape[1])
+        assert shard.b_matrix.shape == (plan.b_matrix.shape[0], 8)
+        assert shard.bias is None
+        np.testing.assert_array_equal(shard.protected_ranks, plan.protected_ranks[4:12])
+        np.testing.assert_array_equal(shard.a_matrix, plan.a_matrix[4:12])
+
+
+class TestGroupLayersByBlock:
+    def test_groups_and_sorts(self):
+        groups = group_layers_by_block(["blocks.1.a", "blocks.0.b", "blocks.0.a"])
+        assert list(groups) == [0, 1]
+        assert groups[0] == ["blocks.0.b", "blocks.0.a"]
+
+    def test_rejects_foreign_names(self):
+        with pytest.raises(ValueError):
+            group_layers_by_block(["embedding.weight"])
+
+
+class TestShardPlanBuild:
+    def test_single_chip_single_way(self, rng):
+        plans = make_plans(rng)
+        plan = ShardPlan.build(plans, DeviceMesh())
+        assert plan.tensor_parallel == 1
+        assert plan.chips_used == 1
+        assert plan.pipeline_boundaries == 0
+        assert set(plan.layers) == set(plans)
+        assert plan.arrays_used > 0
+        # Two blocks pipeline onto two PUs of one chip.
+        assert plan.pus_assigned() >= 2
+
+    def test_tensor_parallel_partitions_every_layer(self, rng):
+        plans = make_plans(rng)
+        plan = ShardPlan.build(plans, DeviceMesh(), tensor_parallel=4)
+        for assignment in plan.layers.values():
+            assert assignment.num_shards == 4
+            covered = [s for pair in assignment.rank_slices for s in pair]
+            assert covered[0] == 0
+            assert covered[-1] == plans[assignment.name].rank
+        # Shard groups occupy disjoint PU ranges.
+        for assignment in plan.layers.values():
+            flat = [pu for group in assignment.pu_ids for pu in group]
+            assert len(flat) == len(set(flat))
+
+    def test_more_ways_assign_more_pus(self, rng):
+        plans = make_plans(rng)
+        one = ShardPlan.build(plans, DeviceMesh(), tensor_parallel=1)
+        four = ShardPlan.build(plans, DeviceMesh(), tensor_parallel=4)
+        assert four.pus_assigned() > one.pus_assigned()
+
+    def test_pipeline_splits_blocks_over_chips(self, rng):
+        plans = make_plans(rng, num_blocks=4)
+        plan = ShardPlan.build(plans, DeviceMesh(num_chips=2))
+        assert plan.chips_used == 2
+        assert plan.pipeline_boundaries == 1
+        chips = [plan.chip_of_block[b] for b in sorted(plan.chip_of_block)]
+        assert chips == sorted(chips)  # contiguous, in block order
+        assert chips == [0, 0, 1, 1]
+
+    def test_excess_chips_stay_idle(self, rng):
+        plans = make_plans(rng, num_blocks=2)
+        plan = ShardPlan.build(plans, DeviceMesh(num_chips=8))
+        assert plan.chips_used == 2
+
+    def test_describe_payload(self, rng):
+        plans = make_plans(rng)
+        plan = ShardPlan.build(plans, DeviceMesh(), tensor_parallel=2)
+        desc = plan.describe()
+        assert desc["tensor_parallel"] == 2
+        assert desc["num_layers"] == len(plans)
+        assert desc["pus_assigned"] == plan.pus_assigned()
+
+    def test_validation(self, rng):
+        plans = make_plans(rng)
+        with pytest.raises(ValueError):
+            ShardPlan.build(plans, DeviceMesh(), tensor_parallel=0)
+        with pytest.raises(ValueError):
+            ShardPlan.build(plans, DeviceMesh(), tensor_parallel=25)
+
+    def test_exhausted_mesh_raises_memoryerror(self, rng):
+        plans = make_plans(rng, num_blocks=3)
+        tiny = ChipConfig(num_processing_units=1)
+        mesh = DeviceMesh(chip_config=tiny)
+        with pytest.raises(MemoryError, match="scale out"):
+            ShardPlan.build(plans, mesh)
+
+
+class TestDeploySharded:
+    def test_deploys_known_layers_and_skips_unknown(self, rng):
+        from repro.pim.hybrid import HybridLinear
+        from repro.rram.noise import NoiseSpec
+
+        plans = make_plans(rng)
+        plan = ShardPlan.build(plans, DeviceMesh(), tensor_parallel=2)
+        name = "blocks.0.attn.q"
+        known = HybridLinear(plans[name], noise=NoiseSpec.noiseless(), mode="crossbar")
+        stray = HybridLinear(plans[name], noise=NoiseSpec.noiseless(), mode="crossbar")
+        deploy_sharded({name: known, "blocks.9.x": stray}, plan)
+        assert known.is_sharded and known.num_shards == 2
+        assert not stray.is_sharded

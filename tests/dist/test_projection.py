@@ -1,0 +1,131 @@
+"""Tests for the hardware projection and its ScalabilityModel cross-check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.scaling import ScalabilityModel
+from repro.dist import DeviceMesh, HardwareProjection, ShardPlan
+from repro.models.configs import ModelSpec
+from repro.svd.pipeline import LayerPlan
+
+
+def make_plans(rng, num_blocks=2, d=16, ff=32):
+    plans = {}
+    for block in range(num_blocks):
+        for leaf, (out_f, in_f) in {
+            "attn.q": (d, d),
+            "attn.k": (d, d),
+            "attn.v": (d, d),
+            "attn.proj": (d, d),
+            "ffn1": (ff, d),
+            "ffn2": (d, ff),
+        }.items():
+            rank = min(out_f, in_f)
+            mask = np.zeros(rank, dtype=bool)
+            mask[: max(1, rank // 4)] = True
+            name = f"blocks.{block}.{leaf}"
+            plans[name] = LayerPlan(
+                name=name,
+                a_matrix=rng.normal(size=(rank, in_f)) / np.sqrt(in_f),
+                b_matrix=rng.normal(size=(out_f, rank)) / np.sqrt(rank),
+                bias=None,
+                protected_ranks=mask,
+                sigma_gradients=rng.random(rank),
+            )
+    return plans
+
+
+def projection_for(rng, ways=1, num_chips=1, **plan_kwargs):
+    plans = make_plans(rng, **plan_kwargs)
+    plan = ShardPlan.build(plans, DeviceMesh(num_chips=num_chips), tensor_parallel=ways)
+    return HardwareProjection(plan, hidden_dim=16)
+
+
+class TestRates:
+    def test_more_ways_project_higher_rate(self, rng):
+        rates = [
+            projection_for(rng, ways=w).pipeline_rate_tokens_per_s() for w in (1, 2, 4)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_oci_aggregation_only_with_tensor_parallelism(self, rng):
+        assert projection_for(rng, ways=1).oci_aggregation_s() == 0.0
+        assert projection_for(rng, ways=2).oci_aggregation_s() > 0.0
+
+    def test_pipeline_handoff_raises_serial_latency(self, rng):
+        single = projection_for(rng, num_chips=1)
+        piped = projection_for(rng, num_chips=2)
+        assert piped.plan.pipeline_boundaries == 1
+        assert piped.serial_token_latency_s() > single.serial_token_latency_s()
+        # ...and the steady-state stage carries the amortized handoff.
+        assert piped.block_stage_s() > single.block_stage_s()
+
+    def test_concurrency_floor_is_one(self, rng):
+        projection = projection_for(rng)
+        assert projection.concurrency() >= 1.0
+
+
+class TestRequestLatency:
+    def test_monotone_in_tokens(self, rng):
+        projection = projection_for(rng)
+        short = projection.request_latency_s(4, 4)
+        long = projection.request_latency_s(4, 32)
+        assert 0 < short < long
+        assert projection.request_latency_s(0, 0) == 0.0
+
+    def test_busy_share_is_throughput_based(self, rng):
+        projection = projection_for(rng)
+        rate = projection.pipeline_rate_tokens_per_s()
+        assert projection.request_busy_s(3, 5) == pytest.approx(8 / rate)
+
+    def test_validation(self, rng):
+        projection = projection_for(rng)
+        with pytest.raises(ValueError):
+            projection.request_latency_s(-1, 4)
+        with pytest.raises(ValueError):
+            HardwareProjection(projection.plan, hidden_dim=0)
+
+
+class TestReport:
+    def test_report_payload(self, rng):
+        projection = projection_for(rng, ways=2)
+        report = projection.report()
+        assert report["plan"]["tensor_parallel"] == 2
+        assert report["pipeline_rate_tokens_per_s"] > 0
+        assert "oci" in report["traffic"]
+
+
+class TestScalabilityCrossCheck:
+    def test_normalized_curve_tracks_fig17_model(self, rng):
+        """The functional curve must share the analytic curve's shape:
+        monotone over the tile-friendly range and never above the analytic
+        bound (the mapper's per-shard tiling overhead only costs)."""
+        ways = (1, 2, 4)
+        projections = [projection_for(rng, ways=w, d=32, ff=64) for w in ways]
+        rates = [p.pipeline_rate_tokens_per_s() for p in projections]
+        measured = [r / rates[0] for r in rates]
+
+        spec = ModelSpec(
+            name="xcheck",
+            kind="decoder",
+            num_layers=2,
+            d_model=32,
+            num_heads=2,
+            d_ff=64,
+            vocab_size=40,
+            max_seq_len=32,
+        )
+        model = ScalabilityModel()
+        analytic = [
+            model.throughput(spec, 32, 0.25, 1, pus_per_layer=w).tokens_per_second
+            for w in ways
+        ]
+        analytic = [a / analytic[0] for a in analytic]
+
+        assert measured == sorted(measured)
+        for got, bound in zip(measured, analytic):
+            assert got <= bound * 1.05
+        # Sharding must deliver a real fraction of the analytic speedup.
+        assert measured[-1] >= analytic[-1] * 0.4

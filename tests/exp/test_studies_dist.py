@@ -1,0 +1,52 @@
+"""Tests for the bench_shard scaling-trajectory study."""
+
+from __future__ import annotations
+
+from repro.exp import ExperimentSpec, Runner, available_experiments
+
+TINY = {
+    "ways": (1, 4),
+    "requests": 3,
+    "prompt_len": 4,
+    "new_tokens": 3,
+    "d_model": 16,
+    "num_heads": 2,
+    "num_layers": 2,
+    "d_ff": 32,
+    "max_seq_len": 32,
+    "vocab_size": 40,
+}
+
+
+class TestBenchShard:
+    def test_registered_with_smoke_config(self):
+        defn = available_experiments()["bench_shard"]
+        assert defn.smoke  # CI runs it via --smoke
+        assert 4 in defn.smoke["ways"]  # the gated width must be in the smoke grid
+
+    def test_tiny_run_payload_and_gate(self):
+        result = Runner(use_cache=False).run(ExperimentSpec("bench_shard", params=TINY))
+        value = result.value
+        assert value["ways"] == [1, 4]
+        assert len(value["curve"]) == 2
+        one, four = value["curve"]
+        assert one["normalized_projected"] == 1.0
+        # The tentpole's scaling claim, at test scale: 4-way tensor
+        # parallelism projects >= 1.5x the 1-way engine throughput while
+        # the study has already asserted bitwise token equality.
+        assert value["gate"]["projected_speedup"] >= 1.5
+        assert four["plan"]["pus_assigned"] > one["plan"]["pus_assigned"]
+        assert four["traffic"]["oci"]["bytes"] > 0
+        # Analytic Fig. 17 curve rides along for the cross-check.
+        assert len(value["analytic_normalized"]) == 2
+        assert four["normalized_projected"] <= value["analytic_normalized"][1] * 1.05
+        # The two-chip pipeline point exercises PCIe-6.0.
+        assert value["pipeline_2chip"]["traffic"]["pcie6"]["bytes"] > 0
+
+    def test_one_way_is_prepended_when_missing(self):
+        params = dict(TINY, ways=(2,))
+        result = Runner(use_cache=False).run(
+            ExperimentSpec("bench_shard", params=params)
+        )
+        assert result.value["ways"] == [1, 2]
+        assert "gate" not in result.value
