@@ -1,0 +1,59 @@
+"""Fault-injection benchmark: hybrid GEMV accuracy under device faults.
+
+Sweeps the SLC protection fraction against the fault scenarios of
+``bench_faults`` (stuck cells, a year of power-law drift, hot-chip read
+noise, and their combination) on a :class:`~repro.rram.FaultySimBackend`,
+printing the weighted L1-relative error grid.  The payload is written to
+``BENCH_faults.json`` at the repo root — the accuracy-trajectory file CI
+uploads as an artifact and gates on (SLC protection monotonically reduces
+the clean programming-noise error; every fault scenario hurts strictly
+more than clean at every protection fraction).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.exp import ExperimentSpec
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+
+def test_bench_faults(benchmark, print_header, fresh_runner):
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    params = {"protect_fractions": (0.0, 1.0)} if smoke else {}
+    spec = ExperimentSpec("bench_faults", params=params)
+
+    result = benchmark.pedantic(
+        lambda: fresh_runner.run(spec), rounds=1, iterations=1
+    )
+    value = result.value
+
+    print_header(
+        "Fault benchmark — hybrid GEMV weighted L1-relative error "
+        "(protection fraction x fault scenario)"
+    )
+    print(f"{'scenario':>10} {'slc_frac':>8} {'error':>9}")
+    for row in value["grid"]:
+        print(
+            f"{row['scenario']:>10} {row['protect_fraction']:>8.2f} "
+            f"{row['error']:>9.4f}"
+        )
+
+    if smoke:
+        # Never clobber the committed full-grid trajectory with a smoke grid.
+        print("smoke mode: skipping BENCH_faults.json update")
+    else:
+        BENCH_PATH.write_text(json.dumps(value, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {BENCH_PATH}")
+
+    # Accuracy-trajectory gates (ISSUE 6 acceptance criteria).  Every grid
+    # point was already double-computed inside the study (exact-determinism
+    # cross-check); here we gate the physics.
+    gate = value["gate"]
+    curve = [point["error"] for point in gate["clean_curve"]]
+    assert curve == sorted(curve, reverse=True), gate["clean_curve"]
+    assert gate["protection_gain"] > 0, gate
+    assert gate["min_fault_margin"] > 0, gate

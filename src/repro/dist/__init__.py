@@ -16,7 +16,12 @@ throughput.
 """
 
 from repro.dist.mesh import DeviceMesh, LinkTraffic
-from repro.dist.plan import LayerShardAssignment, ShardPlan, shard_layer_plan
+from repro.dist.plan import (
+    LayerShardAssignment,
+    ShardPlan,
+    compacted_tile_aligned,
+    shard_layer_plan,
+)
 from repro.dist.projection import HardwareProjection
 
 __all__ = [
@@ -25,6 +30,7 @@ __all__ = [
     "LayerShardAssignment",
     "LinkTraffic",
     "ShardPlan",
+    "compacted_tile_aligned",
     "deploy_sharded",
     "shard_layer_plan",
 ]

@@ -34,9 +34,11 @@ class LinkTraffic:
     cycles: float = 0.0
 
     def seconds(self, clock_hz: float) -> float:
+        """Transfer time at the given core clock."""
         return self.cycles / clock_hz
 
     def as_dict(self) -> dict:
+        """JSON-friendly ledger snapshot."""
         return {
             "transfers": self.transfers,
             "bytes": round(self.num_bytes, 1),
@@ -79,17 +81,21 @@ class DeviceMesh:
     # ------------------------------------------------------------------
     @property
     def clock_hz(self) -> float:
+        """Core clock of every chip in the mesh."""
         return self.hardware.clock_hz
 
     @property
     def pus_per_chip(self) -> int:
+        """Processing units on each chip."""
         return self.chip_config.num_processing_units
 
     @property
     def total_pus(self) -> int:
+        """Processing units across the whole mesh."""
         return self.num_chips * self.pus_per_chip
 
     def arrays_per_pu(self) -> int:
+        """Analog crossbar arrays each processing unit holds."""
         return self.hardware.analog_arrays_per_pu()
 
     # ------------------------------------------------------------------
@@ -155,6 +161,7 @@ class DeviceMesh:
         )
 
     def reset_traffic(self) -> None:
+        """Zero every link ledger (start of a fresh measurement)."""
         for name in self.traffic:
             self.traffic[name] = LinkTraffic()
 
@@ -163,6 +170,7 @@ class DeviceMesh:
         return sum(t.seconds(self.clock_hz) for t in self.traffic.values())
 
     def traffic_report(self) -> dict:
+        """Per-link traffic totals, with seconds at the mesh clock."""
         report = {name: ledger.as_dict() for name, ledger in self.traffic.items()}
         for name, ledger in self.traffic.items():
             report[name]["seconds"] = ledger.seconds(self.clock_hz)

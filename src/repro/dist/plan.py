@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.dist.mesh import DeviceMesh
 from repro.pim.chip import ChipConfig, HyFlexPimChip, group_layers_by_block
 from repro.rram.cell import CellType, MLC2
@@ -30,7 +32,41 @@ from repro.rram.mapping import partition_rank
 from repro.rram.noise import NoiseSpec
 from repro.svd.pipeline import LayerPlan
 
-__all__ = ["LayerShardAssignment", "ShardPlan", "shard_layer_plan"]
+__all__ = [
+    "LayerShardAssignment",
+    "ShardPlan",
+    "compacted_tile_aligned",
+    "shard_layer_plan",
+]
+
+
+def compacted_tile_aligned(
+    protected: np.ndarray, rank_slices: list[tuple[int, int]], tile: int
+) -> bool:
+    """Whether shard boundaries stay tile-aligned after SLC/MLC compaction.
+
+    :func:`~repro.rram.mapping.split_by_rank` compacts a layer's protected
+    and unprotected ranks into *separate* matrices before tiling, so the
+    accumulation-tile boundaries the ADC clips at live in compacted space.
+    A shard boundary at logical rank ``b`` preserves the unsharded tiling
+    only when both the number of protected ranks below ``b`` and the number
+    of unprotected ranks below ``b`` are multiples of ``tile`` — then every
+    shard's matrices start on a whole-tile boundary of the unsharded
+    compacted matrices.  Where that fails, a sharded deployment silently
+    falls back to sub-tile accumulation: still exact for saturation-free
+    GEMVs, but divergent from the unsharded mapping wherever an MLC bitline
+    saturates.  :meth:`ShardPlan.build` surfaces this per layer as
+    :attr:`LayerShardAssignment.tile_aligned`.
+    """
+    if tile < 1:
+        raise ValueError(f"tile must be >= 1, got {tile}")
+    protected = np.asarray(protected, dtype=bool)
+    prefix_protected = np.concatenate([[0], np.cumsum(protected)])
+    for _, stop in rank_slices[:-1]:
+        n_protected = int(prefix_protected[stop])
+        if n_protected % tile or (stop - n_protected) % tile:
+            return False
+    return True
 
 
 def shard_layer_plan(plan: LayerPlan, start: int, stop: int) -> LayerPlan:
@@ -51,19 +87,28 @@ def shard_layer_plan(plan: LayerPlan, start: int, stop: int) -> LayerPlan:
 
 @dataclass
 class LayerShardAssignment:
-    """Where one logical layer's shards landed on the mesh."""
+    """Where one logical layer's shards landed on the mesh.
+
+    ``tile_aligned`` is False when this layer's shard boundaries fall back
+    to sub-tile accumulation in compacted SLC/MLC space (see
+    :func:`compacted_tile_aligned`): the sharded mapping then only matches
+    the unsharded one where no MLC bitline saturates.
+    """
 
     name: str
     block: int
     chip: int
     rank_slices: list[tuple[int, int]]
     pu_ids: list[list[int]] = field(default_factory=list)  # global ids, per shard
+    tile_aligned: bool = True
 
     @property
     def num_shards(self) -> int:
+        """Number of tensor-parallel shards this layer was split into."""
         return len(self.rank_slices)
 
     def pus_assigned(self) -> set[int]:
+        """Global ids of every processing unit holding a shard fragment."""
         return {pu for group in self.pu_ids for pu in group}
 
 
@@ -80,6 +125,7 @@ class ShardPlan:
     # ------------------------------------------------------------------
     @property
     def chips_used(self) -> int:
+        """Chips holding at least one Transformer block."""
         return len(set(self.chip_of_block.values())) if self.chip_of_block else 0
 
     @property
@@ -89,13 +135,33 @@ class ShardPlan:
 
     @property
     def num_blocks(self) -> int:
+        """Transformer blocks covered by the plan."""
         return len(self.chip_of_block)
 
     def pus_assigned(self) -> int:
         """Distinct processing units holding at least one shard fragment."""
         return len({pu for a in self.layers.values() for pu in a.pus_assigned()})
 
+    @property
+    def subtile_layers(self) -> list[str]:
+        """Layers whose shard boundaries fell back to sub-tile accumulation.
+
+        Sorted names of every layer with ``tile_aligned=False`` — the
+        deployments whose sharded GEMVs can diverge from the unsharded
+        mapping where an MLC bitline saturates.  Empty means the whole plan
+        preserves the unsharded accumulation tiling.
+        """
+        return sorted(
+            name for name, a in self.layers.items() if not a.tile_aligned
+        )
+
+    @property
+    def fully_tile_aligned(self) -> bool:
+        """True when no layer fell back to sub-tile shard boundaries."""
+        return not self.subtile_layers
+
     def describe(self) -> dict:
+        """JSON-friendly summary of the deployment's shape and placement."""
         return {
             "num_chips": self.mesh.num_chips,
             "tensor_parallel": self.tensor_parallel,
@@ -105,6 +171,8 @@ class ShardPlan:
             "num_layers": len(self.layers),
             "pus_assigned": self.pus_assigned(),
             "arrays_used": self.arrays_used,
+            "subtile_fallback_layers": len(self.subtile_layers),
+            "fully_tile_aligned": self.fully_tile_aligned,
         }
 
     # ------------------------------------------------------------------
@@ -176,6 +244,11 @@ class ShardPlan:
                     chip=chip,
                     rank_slices=slices_of[name],
                     pu_ids=[[] for _ in slices_of[name]],
+                    tile_aligned=compacted_tile_aligned(
+                        plans[name].protected_ranks,
+                        slices_of[name],
+                        mesh.hardware.array_rows,
+                    ),
                 )
             for shard in range(tensor_parallel):
                 shard_plans = {}

@@ -56,6 +56,7 @@ class HardwareProjection:
     # Stage timing
     # ------------------------------------------------------------------
     def gemv_wave_s(self) -> float:
+        """Seconds for one bit-serial GEMV wave across an array."""
         hw = self.hardware
         return (hw.input_bits + 1) * hw.conversion_window_ns * 1e-9
 
@@ -137,6 +138,7 @@ class HardwareProjection:
 
     # ------------------------------------------------------------------
     def report(self) -> dict:
+        """Plan shape, projected rate and exercised-link traffic."""
         mesh = self.plan.mesh
         return {
             "plan": self.plan.describe(),

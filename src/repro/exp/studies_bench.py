@@ -31,7 +31,7 @@ from repro.rram import (
     ProgrammedMatrix,
 )
 
-__all__ = ["bench_kernels", "bench_serve"]
+__all__ = ["bench_faults", "bench_kernels", "bench_serve"]
 
 #: The benchmark grid (overridable via params).  The "large" point is the
 #: one the CI perf gate checks; it matches the ISSUE-2 acceptance criteria
@@ -426,4 +426,206 @@ def bench_serve(params: dict[str, Any], seed: int) -> dict[str, Any]:
         "large": large,
         "engine": _engine_throughput(model, params, rng),
         "trace": _trace_comparison(model, params, seed),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fault-injection benchmark: hybrid GEMV accuracy under device faults
+# ----------------------------------------------------------------------
+
+#: Protection-fraction sweep (share of ranks placed on SLC) crossed with
+#: the fault scenarios of :func:`_fault_scenarios`.  The clean scenario is
+#: the gated curve: with calibrated programming noise (sigma roughly 7x
+#: higher on MLC2 than SLC), moving ranks from MLC to SLC must
+#: monotonically reduce the error — the paper's protection premise.
+FAULT_PROTECT_FRACTIONS = (0.0, 0.25, 0.5, 1.0)
+FAULT_YEAR_S = 365.0 * 86_400.0
+
+
+def _fault_scenarios() -> dict[str, dict[str, Any]]:
+    """Named fault scenarios: a FaultModel plus an elapsed-clock advance."""
+    from repro.rram import FaultModel
+
+    return {
+        "clean": {"fault": FaultModel(), "advance_s": 0.0},
+        "stuck": {
+            "fault": FaultModel(stuck_off_rate=0.003, stuck_on_rate=0.003),
+            "advance_s": 0.0,
+        },
+        "drift_1yr": {
+            "fault": FaultModel(drift_nu=0.05, drift_t0_s=86_400.0),
+            "advance_s": FAULT_YEAR_S,
+        },
+        "hot_85c": {
+            "fault": FaultModel(temperature_c=85.0, temp_sigma_per_c=0.002),
+            "advance_s": 0.0,
+        },
+        "aged": {
+            "fault": FaultModel(
+                stuck_off_rate=0.002,
+                stuck_on_rate=0.002,
+                drift_nu=0.05,
+                drift_t0_s=86_400.0,
+                temperature_c=60.0,
+                temp_sigma_per_c=0.002,
+            ),
+            "advance_s": FAULT_YEAR_S,
+        },
+    }
+
+
+def _hybrid_fault_error(
+    protect_fraction: float,
+    fault,
+    advance_s: float,
+    seed: int,
+    rank: int,
+    in_features: int,
+    out_features: int,
+    batch: int,
+) -> float:
+    """Weighted L1-relative error of one faulty hybrid GEMV deployment.
+
+    Builds the paper's rank-split placement (protected prefix on SLC, the
+    rest on MLC2) on a dedicated :class:`FaultySimBackend` with calibrated
+    programming noise (so every scenario includes the SLC/MLC margin
+    asymmetry), advances the backend clock, then runs both GEMV stages —
+    stage 1 piecewise over the rank split, stage 2 as the additive SLC+MLC
+    partial-sum recombination — and returns total |analog − ideal| over
+    total |ideal| across both stages, so each rank's contribution is
+    weighted by its actual share of the layer's signal energy.
+    """
+    from repro.rram import FaultySimBackend, split_by_rank
+
+    rng = np.random.default_rng(seed)
+    a_codes = rng.integers(-128, 128, size=(rank, in_features))
+    b_codes = rng.integers(-128, 128, size=(out_features, rank))
+    protected = np.zeros(rank, dtype=bool)
+    protected[: round(protect_fraction * rank)] = True
+
+    backend = FaultySimBackend(fault=fault, seed=seed)
+    split = split_by_rank(
+        a_codes,
+        b_codes,
+        protected,
+        noise=DEFAULT_NOISE,
+        seed=seed,
+        backend=backend,
+    )
+    if advance_s:
+        backend.advance(seconds=advance_s)
+
+    x1 = rng.integers(-128, 128, size=(batch, in_features))
+    x2 = rng.integers(-128, 128, size=(batch, rank))
+
+    h = np.zeros((batch, rank), dtype=np.int64)
+    if split.slc_a is not None:
+        h[:, protected] = split.slc_a.gemv(x1)
+    if split.mlc_a is not None:
+        h[:, ~protected] = split.mlc_a.gemv(x1)
+    h_ideal = x1 @ a_codes.T
+
+    y = np.zeros((batch, out_features), dtype=np.int64)
+    if split.slc_b is not None:
+        y += split.slc_b.gemv(x2[:, protected])
+    if split.mlc_b is not None:
+        y += split.mlc_b.gemv(x2[:, ~protected])
+    y_ideal = x2 @ b_codes.T
+
+    err = np.abs(h - h_ideal).sum() + np.abs(y - y_ideal).sum()
+    ref = np.abs(h_ideal).sum() + np.abs(y_ideal).sum()
+    return float(err) / float(ref)
+
+
+@experiment(
+    "bench_faults",
+    smoke={"protect_fractions": (0.0, 1.0)},
+)
+def bench_faults(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Hybrid GEMV accuracy across protection fraction x fault scenario.
+
+    Sweeps the SLC protection fraction against the named fault scenarios
+    of :func:`_fault_scenarios` (stuck cells, one year of power-law drift,
+    hot-chip read noise, and their combination), measuring the weighted
+    L1-relative error of the full two-stage hybrid GEMV on a
+    :class:`~repro.rram.FaultySimBackend`.  Every point is computed twice
+    from the same seed and cross-checked for exact determinism.  The
+    payload lands in ``BENCH_faults.json`` (written by
+    ``benchmarks/bench_faults.py`` and the CI smoke job), which gates:
+    SLC protection monotonically reduces the clean (programming-noise)
+    error, and every faulty scenario hurts strictly more than clean at
+    every protection fraction.
+    """
+    fractions = tuple(params.get("protect_fractions", FAULT_PROTECT_FRACTIONS))
+    rank = int(params.get("rank", 48))
+    in_features = int(params.get("in_features", 64))
+    out_features = int(params.get("out_features", 64))
+    batch = int(params.get("batch", 8))
+    scenarios = _fault_scenarios()
+
+    grid = []
+    for name, scenario in scenarios.items():
+        for fraction in fractions:
+            point_args = (
+                fraction,
+                scenario["fault"],
+                scenario["advance_s"],
+                seed,
+                rank,
+                in_features,
+                out_features,
+                batch,
+            )
+            error = _hybrid_fault_error(*point_args)
+            # Determinism cross-check rides along with every point: an
+            # identical seed must rebuild bit-identical faults and errors.
+            if _hybrid_fault_error(*point_args) != error:
+                raise AssertionError(
+                    f"non-deterministic fault error at scenario={name}, "
+                    f"protect_fraction={fraction}"
+                )
+            grid.append(
+                {
+                    "scenario": name,
+                    "protect_fraction": fraction,
+                    "error": round(error, 6),
+                }
+            )
+
+    def _error(scenario: str, fraction: float) -> float:
+        return next(
+            row["error"]
+            for row in grid
+            if row["scenario"] == scenario
+            and row["protect_fraction"] == fraction
+        )
+
+    faulty = [name for name in scenarios if name != "clean"]
+    ordered = sorted(fractions)
+    gate = {
+        "clean_curve": [
+            {"protect_fraction": f, "error": _error("clean", f)} for f in ordered
+        ],
+        "protection_gain": round(
+            _error("clean", ordered[0]) - _error("clean", ordered[-1]), 6
+        ),
+        "min_fault_margin": round(
+            min(
+                _error(name, f) - _error("clean", f)
+                for name in faulty
+                for f in fractions
+            ),
+            6,
+        ),
+    }
+    return {
+        "geometry": {
+            "rank": rank,
+            "in_features": in_features,
+            "out_features": out_features,
+            "batch": batch,
+        },
+        "protect_fractions": list(fractions),
+        "grid": grid,
+        "gate": gate,
     }

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.rram.backend import CrossbarBackend
 from repro.rram.cell import CellType
 from repro.rram.crossbar import CrossbarConfig, GemvStats
 from repro.rram.kernels import KernelPolicy
@@ -55,11 +56,13 @@ class AnalogPimModule:
         noise: NoiseSpec | None = None,
         seed: int = 0,
         policy: KernelPolicy | None = None,
+        backend: CrossbarBackend | None = None,
     ) -> None:
         self.config = config or AnalogModuleConfig()
         self.noise = noise or DEFAULT_NOISE
         self.seed = seed
         self.policy = policy
+        self.backend = backend
         self._deployed: dict[str, MappedMatrix] = {}
         self._arrays_used = 0
 
@@ -89,6 +92,7 @@ class AnalogPimModule:
             config=self.config.array,
             seed=self.seed + (zlib.crc32(name.encode()) % (2**16)),
             policy=self.policy,
+            backend=self.backend,
         )
         if mapped.arrays_used > self.arrays_free:
             raise MemoryError(

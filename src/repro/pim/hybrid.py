@@ -27,6 +27,7 @@ import numpy as np
 from repro.nn.modules import Module
 from repro.nn.tensor import Tensor, get_default_dtype
 from repro.quant.quantizer import QuantParams, dequantize, quantize
+from repro.rram.backend import CrossbarBackend
 from repro.rram.cell import CellType, MLC2, SLC
 from repro.rram.crossbar import CrossbarConfig, GemvStats
 from repro.rram.kernels import KernelPolicy
@@ -110,6 +111,7 @@ class HybridLinear(Module):
         config: CrossbarConfig | None = None,
         seed: int = 0,
         policy: KernelPolicy | None = None,
+        backend: CrossbarBackend | None = None,
     ) -> None:
         super().__init__()
         if mode not in _MODES:
@@ -121,6 +123,7 @@ class HybridLinear(Module):
         self.config = config or CrossbarConfig()
         self.seed = seed
         self.policy = policy
+        self.backend = backend
         self.in_features = plan.a_matrix.shape[1]
         self.out_features = plan.b_matrix.shape[0]
         self.rank = plan.rank
@@ -156,6 +159,7 @@ class HybridLinear(Module):
                 mlc_cell=mlc_cell,
                 seed=seed,
                 policy=policy,
+                backend=backend,
             )
             self._noisy_a = None
             self._noisy_b = None
@@ -317,6 +321,7 @@ class HybridLinear(Module):
                         rank_range=(start, stop),
                         shard_index=index,
                         num_shards=num_shards,
+                        backend=self.backend,
                     )
                 )
             self._shard_splits = splits
@@ -575,6 +580,52 @@ class HybridLinear(Module):
                 if mapped is not None:
                     mapped.stats = GemvStats()
 
+    # ------------------------------------------------------------------
+    # Online recalibration hooks (drift detection + re-programming)
+    # ------------------------------------------------------------------
+    def probe_drift(self, probe_seed: int = 0) -> float:
+        """Worst relative error of a deterministic probe GEMV (crossbar mode).
+
+        Issues one fixed INT8 probe vector (derived from ``probe_seed`` and
+        the layer seed, so repeated probes are comparable) through every
+        deployed stage-1 matrix and compares the analog result against the
+        exact integer GEMV.  Returns the maximum L1-relative error over the
+        matrices — the drift signal :class:`~repro.serve.engine.ServingEngine`
+        thresholds to decide when to recalibrate.  Probe traffic lands in
+        the matrices' :class:`~repro.rram.crossbar.GemvStats` like any other
+        GEMV (hardware really executes it).  Always 0.0 in ``fast`` mode
+        (no backend to drift).
+        """
+        worst = 0.0
+        rng = np.random.default_rng((int(probe_seed), self.seed, 0x9B0B))
+        probe = rng.integers(-128, 128, size=(1, self.in_features))
+        for split in self._active_splits():
+            for mapped in (split.slc_a, split.mlc_a):
+                if mapped is None:
+                    continue
+                analog = np.asarray(mapped.gemv(probe), dtype=np.float64)
+                ideal = np.asarray(mapped.ideal_gemv(probe), dtype=np.float64)
+                denom = max(float(np.abs(ideal).sum()), 1.0)
+                worst = max(worst, float(np.abs(analog - ideal).sum()) / denom)
+        return worst
+
+    def reprogram(self) -> int:
+        """Re-write every deployed mapped matrix (crossbar mode).
+
+        The recovery action against drifted or worn tiles: each matrix
+        redraws its programming noise through its backend (resetting the
+        drift clock), with the write traffic recorded in the backend's wear
+        ledger and in ``stats.cells_reprogrammed``.  Returns the number of
+        matrices re-written (0 in ``fast`` mode).
+        """
+        count = 0
+        for split in self._active_splits():
+            for mapped in (split.slc_a, split.mlc_a, split.slc_b, split.mlc_b):
+                if mapped is not None:
+                    mapped.reprogram()
+                    count += 1
+        return count
+
     def __repr__(self) -> str:
         return (
             f"HybridLinear(in={self.in_features}, out={self.out_features}, "
@@ -618,11 +669,15 @@ def attach_hybrid_layers(
     mlc_cell: CellType = MLC2,
     seed: int = 0,
     policy: KernelPolicy | None = None,
+    backend: CrossbarBackend | None = None,
 ) -> dict[str, HybridLinear]:
     """Swap every planned layer of ``model`` for its PIM deployment form.
 
     ``model`` must expose ``replace_static_linear`` (all Transformer variants
     do); ``plans`` comes from the gradient-redistribution pipeline.
+    ``backend`` (crossbar mode) selects the execution target every layer
+    programs onto — ``None`` uses the process-wide default
+    (:func:`repro.rram.backend.get_default_backend`).
     """
     attached: dict[str, HybridLinear] = {}
     for name, plan in plans.items():
@@ -633,6 +688,7 @@ def attach_hybrid_layers(
             mlc_cell=mlc_cell,
             seed=seed + len(attached),
             policy=policy,
+            backend=backend,
         )
         model.replace_static_linear(name, layer)
         attached[name] = layer

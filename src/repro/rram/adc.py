@@ -50,6 +50,7 @@ class SarAdc:
 
     @property
     def full_scale(self) -> int:
+        """Largest code the converter can emit (2^bits - 1)."""
         return 2**self.bits - 1
 
     @property

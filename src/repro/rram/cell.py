@@ -29,14 +29,17 @@ class RramDeviceParams:
 
     @property
     def r_off_ohm(self) -> float:
+        """High-resistance-state resistance (R_on x on/off ratio)."""
         return self.r_on_ohm * self.on_off_ratio
 
     @property
     def g_min_siemens(self) -> float:
+        """Conductance of the fully-off cell (1 / R_off)."""
         return 1.0 / self.r_off_ohm
 
     @property
     def g_max_siemens(self) -> float:
+        """Conductance of the fully-on cell (1 / R_on)."""
         return 1.0 / self.r_on_ohm
 
 
@@ -56,10 +59,12 @@ class CellType:
 
     @property
     def levels(self) -> int:
+        """Number of programmable conductance levels (2^bits)."""
         return 2**self.bits
 
     @property
     def max_level(self) -> int:
+        """Highest programmable level index."""
         return self.levels - 1
 
     def conductance_levels(self, device: RramDeviceParams | None = None) -> np.ndarray:
@@ -68,6 +73,7 @@ class CellType:
         return np.linspace(device.g_min_siemens, device.g_max_siemens, self.levels)
 
     def validate_levels(self, levels: np.ndarray) -> None:
+        """Raise ``ValueError`` if any level is outside this cell's range."""
         levels = np.asarray(levels)
         if levels.size == 0:
             return

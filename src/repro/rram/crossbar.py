@@ -33,9 +33,9 @@ import numpy as np
 
 from repro.quant.quantizer import int_to_bits
 from repro.rram.adc import SarAdc, required_adc_bits
+from repro.rram.backend import CrossbarBackend, resolve_backend
 from repro.rram.cell import CellType
 from repro.rram.kernels import KernelPolicy, resolve_policy, run_gemv
-from repro.rram.noise import apply_multiplicative_noise
 
 __all__ = [
     "CrossbarConfig",
@@ -78,13 +78,16 @@ class WeightSlices:
 
     @property
     def num_slices(self) -> int:
+        """Bit slices (physical columns) each weight occupies."""
         return self.values.shape[-1]
 
     @property
     def slice_factors(self) -> np.ndarray:
+        """Per-slice place values for digital shift-and-add recombination."""
         return (2 ** (self.cell.bits * np.arange(self.num_slices))).astype(np.int64)
 
     def columns_per_weight(self) -> int:
+        """Physical crossbar columns consumed per logical weight."""
         return self.num_slices
 
 
@@ -129,7 +132,14 @@ def input_bit_weights(input_bits: int) -> np.ndarray:
 
 @dataclass
 class GemvStats:
-    """Operation counts collected during a crossbar GEMV (for energy hooks)."""
+    """Operation counts collected during a crossbar GEMV (for energy hooks).
+
+    All fields are monotone counters; ``merge`` adds another instance in,
+    so per-shard / per-layer stats aggregate without double counting.
+    ``cells_reprogrammed`` counts cells re-written by online recalibration
+    (post-deployment writes), separately from the initial
+    ``cells_programmed``.
+    """
 
     adc_conversions: int = 0
     wordline_activations: int = 0
@@ -137,22 +147,29 @@ class GemvStats:
     cells_programmed: int = 0
     saturated_conversions: int = 0
     input_cycles: int = 0
+    cells_reprogrammed: int = 0
 
     def merge(self, other: "GemvStats") -> None:
+        """Accumulate ``other``'s counters into this instance (in place)."""
         self.adc_conversions += other.adc_conversions
         self.wordline_activations += other.wordline_activations
         self.array_tiles += other.array_tiles
         self.cells_programmed += other.cells_programmed
         self.saturated_conversions += other.saturated_conversions
         self.input_cycles += other.input_cycles
+        self.cells_reprogrammed += other.cells_reprogrammed
 
 
 class ProgrammedMatrix:
-    """A weight matrix programmed (once) into noisy crossbar cells.
+    """A weight matrix programmed into crossbar cells via a backend.
 
-    Static weights are written a single time before inference (Section 3.2),
-    so programming noise is *frozen* at construction; every subsequent GEMV
-    reads the same perturbed conductances.
+    Static weights are written a single time before inference (Section 3.2);
+    on the default :class:`~repro.rram.backend.SimBackend` the programming
+    noise is *frozen* at construction and every subsequent GEMV reads the
+    same perturbed conductances.  Fault-injecting backends may evolve the
+    effective conductances across their ``advance()`` clock epochs, and
+    :meth:`reprogram` re-writes the cells (the recovery action online
+    recalibration takes against drifted or worn tiles).
     """
 
     def __init__(
@@ -165,7 +182,16 @@ class ProgrammedMatrix:
         weight_bits: int = 8,
         adc: SarAdc | None = None,
         policy: KernelPolicy | None = None,
+        backend: CrossbarBackend | None = None,
     ) -> None:
+        """Slice, offset-encode and program ``weight_codes`` onto ``backend``.
+
+        ``weight_codes`` is ``(out_features, in_features)`` signed ints in
+        the ``weight_bits`` range; ``noise_sigma`` the calibrated Eq. (5)
+        programming σ; ``rng`` the programming-noise generator (default:
+        seed 0); ``backend`` defaults to the process-wide backend
+        (:func:`~repro.rram.backend.get_default_backend`).
+        """
         rng = rng or np.random.default_rng(0)
         self.config = config or CrossbarConfig()
         weight_codes = np.asarray(weight_codes, dtype=np.int64)
@@ -174,14 +200,14 @@ class ProgrammedMatrix:
         self.policy = policy
         self.noise_sigma = float(noise_sigma)
         self.slices = slice_weights(weight_codes, cell, weight_bits)
-        if self.noise_sigma == 0.0:
-            # Noiseless cells equal the integer slice levels exactly; keeping
-            # a float copy would double programmed-weight memory for nothing.
-            self._planes: np.ndarray | None = None
-        else:
-            self._planes = apply_multiplicative_noise(
-                self.slices.values.astype(np.float64), self.noise_sigma, rng
-            ).astype(resolve_policy(policy).storage_dtype)
+        self.backend = resolve_backend(backend)
+        self._tile = self.backend.program(
+            self.slices.values,
+            cell,
+            self.noise_sigma,
+            rng,
+            resolve_policy(policy).storage_dtype,
+        )
         self.adc = adc or SarAdc(bits=required_adc_bits(self.config.rows, cell.bits))
         self._saturation_free: bool | None = None
         self._dense_weights_t: np.ndarray | None = None
@@ -189,16 +215,33 @@ class ProgrammedMatrix:
     # -- programmed-cell views (consumed by repro.rram.kernels) ---------------
     @property
     def is_noiseless(self) -> bool:
-        return self._planes is None
+        """True when reads return the exact integer slice levels.
+
+        Licenses the fast kernel's one-matmul shortcut, so the owning
+        backend must only claim it when no mechanism can perturb a read.
+        """
+        return self.backend.is_ideal(self._tile)
 
     @property
     def planes(self) -> np.ndarray:
-        """Programmed cell levels, shape (in, out, n_slices).
+        """Effective programmed cell levels, shape (in, out, n_slices).
 
-        Integer slice levels when noiseless, noisy floats (in the policy's
-        compute dtype) otherwise.
+        Integer slice levels when noiseless, floats (in the policy's
+        storage dtype) otherwise.  Read through the backend, so fault
+        backends may return different planes after ``advance()``.
         """
-        return self.slices.values if self._planes is None else self._planes
+        return self.backend.planes(self._tile)
+
+    def reprogram(self, stats: GemvStats | None = None) -> None:
+        """Re-write the cells through the backend (fresh noise realization).
+
+        Records the write traffic in the backend's wear ledger and, when
+        ``stats`` is given, in ``stats.cells_reprogrammed`` — so online
+        recalibration's re-program cost shows up next to GEMV counters.
+        """
+        self.backend.reprogram(self._tile)
+        if stats is not None:
+            stats.cells_reprogrammed += self._tile.num_cells
 
     @property
     def programmed(self) -> np.ndarray:
@@ -282,6 +325,7 @@ def bit_serial_gemv(
     adc: SarAdc | None = None,
     stats: GemvStats | None = None,
     policy: KernelPolicy | None = None,
+    backend: CrossbarBackend | None = None,
 ) -> np.ndarray:
     """One-shot program + GEMV convenience wrapper around ProgrammedMatrix."""
     weight_codes = np.asarray(weight_codes, dtype=np.int64)
@@ -296,5 +340,6 @@ def bit_serial_gemv(
         weight_bits=weight_bits,
         adc=adc,
         policy=policy,
+        backend=backend,
     )
     return matrix.gemv(input_codes, input_bits=input_bits, stats=stats)

@@ -10,11 +10,11 @@ that argument computable (and testable).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.rram.cell import RramDeviceParams
 
-__all__ = ["EnduranceModel", "WearReport"]
+__all__ = ["EnduranceModel", "WearLedger", "WearReport"]
 
 _DAYS_PER_YEAR = 365.25
 
@@ -69,3 +69,83 @@ class EnduranceModel:
             lifetime_years=lifetime,
             sustains_server_lifetime=lifetime >= self.server_lifetime_years,
         )
+
+
+@dataclass
+class WearLedger:
+    """Write-traffic ledger for crossbar backends (per-tile wear accounting).
+
+    A :class:`~repro.rram.backend.CrossbarBackend` records every write it
+    performs here: initial programming and re-programming of weight tiles
+    (each write event costs ``cell.write_pulses`` verify-program pulses per
+    cell) plus background dynamic-data write cycles applied via the
+    backend's ``advance(writes=...)`` clock.  The ledger is the single
+    source of truth the wear model, the health reports and the endurance
+    round-trip tests read from.
+
+    Invariants: ``programs`` counts first-time programs, ``reprograms``
+    re-writes; ``pulses_per_cell[tile_id]`` is the cumulative per-cell
+    pulse count of that tile's write events; ``total_write_pulses`` equals
+    ``sum(pulses_per_cell[t] * cells[t])`` over all tiles.
+    """
+
+    endurance_cycles: float = RramDeviceParams().endurance_cycles
+    programs: int = 0
+    reprograms: int = 0
+    background_cycles: float = 0.0
+    pulses_per_cell: dict[int, int] = field(default_factory=dict)
+    cells: dict[int, int] = field(default_factory=dict)
+
+    def record_program(
+        self, tile_id: int, num_cells: int, pulses: int, reprogram: bool = False
+    ) -> None:
+        """Record one (re)program of ``num_cells`` cells at ``pulses`` each.
+
+        ``pulses`` is the cell type's verify-program pulse count (1 for
+        SLC, up to 16 for MLC4); ``reprogram`` selects which event counter
+        increments.  Raises ``ValueError`` on non-positive sizes.
+        """
+        if num_cells <= 0 or pulses <= 0:
+            raise ValueError("num_cells and pulses must be positive")
+        if reprogram:
+            self.reprograms += 1
+        else:
+            self.programs += 1
+        self.pulses_per_cell[tile_id] = self.pulses_per_cell.get(tile_id, 0) + pulses
+        self.cells[tile_id] = num_cells
+
+    def record_background(self, cycles: float) -> None:
+        """Add ``cycles`` background write cycles per cell (dynamic traffic)."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self.background_cycles += float(cycles)
+
+    @property
+    def total_write_pulses(self) -> int:
+        """Total write pulses issued across all tiles (program + re-program)."""
+        return sum(
+            self.pulses_per_cell[tile_id] * self.cells[tile_id]
+            for tile_id in self.pulses_per_cell
+        )
+
+    def wear_fraction(self, tile_id: int) -> float:
+        """Fraction of ``tile_id``'s per-cell endurance consumed so far.
+
+        Counts the tile's own write pulses plus the backend-wide background
+        cycles (uniform wear levelling); 0.0 for unknown tiles.
+        """
+        per_cell = self.pulses_per_cell.get(tile_id, 0) + self.background_cycles
+        return per_cell / self.endurance_cycles
+
+    def report(self) -> dict:
+        """JSON-friendly snapshot of the ledger's totals."""
+        return {
+            "programs": self.programs,
+            "reprograms": self.reprograms,
+            "tiles": len(self.cells),
+            "total_write_pulses": self.total_write_pulses,
+            "background_cycles": self.background_cycles,
+            "max_wear_fraction": max(
+                (self.wear_fraction(t) for t in self.pulses_per_cell), default=0.0
+            ),
+        }

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.rram.adc import SarAdc, required_adc_bits
+from repro.rram.backend import CrossbarBackend
 from repro.rram.cell import CellType, MLC2, SLC
 from repro.rram.crossbar import CrossbarConfig, GemvStats, ProgrammedMatrix
 from repro.rram.kernels import KernelPolicy
@@ -83,6 +84,7 @@ class ShardSpec:
 
     @property
     def width(self) -> int:
+        """Number of ranks this shard carries."""
         return self.stop - self.start
 
 
@@ -146,8 +148,10 @@ class MappedMatrix:
     policy: KernelPolicy | None = None
     shard: ShardSpec | None = None
     stats: GemvStats = field(default_factory=GemvStats)
+    backend: CrossbarBackend | None = None
 
     def __post_init__(self) -> None:
+        """Validate the codes and program them through the backend."""
         self.weight_codes = np.asarray(self.weight_codes, dtype=np.int64)
         if self.weight_codes.ndim != 2:
             raise ValueError("weight_codes must be 2-D")
@@ -160,25 +164,31 @@ class MappedMatrix:
             config=self.config,
             weight_bits=self.weight_bits,
             policy=self.policy,
+            backend=self.backend,
         )
+        self.backend = self._programmed.backend
         self.write_count = 1
 
     @property
     def out_features(self) -> int:
+        """Output dimension of the mapped matrix."""
         return self.weight_codes.shape[0]
 
     @property
     def in_features(self) -> int:
+        """Input dimension of the mapped matrix."""
         return self.weight_codes.shape[1]
 
     @property
     def arrays_used(self) -> int:
+        """Physical crossbar arrays this matrix occupies."""
         return array_footprint(
             self.out_features, self.in_features, self.cell, self.config, self.weight_bits
         )
 
     @property
     def adc(self) -> SarAdc:
+        """The SAR ADC geometry this mapping's bitline reads require."""
         return SarAdc(bits=required_adc_bits(self.config.rows, self.cell.bits))
 
     def gemv(
@@ -191,6 +201,15 @@ class MappedMatrix:
         """Noise-free integer reference (for error measurements)."""
         x = np.atleast_2d(np.asarray(input_codes, dtype=np.int64))
         return x @ self.weight_codes.T
+
+    def reprogram(self) -> None:
+        """Re-write the arrays (recalibration recovery for drift/wear).
+
+        Bumps ``write_count``, records the traffic in the backend's wear
+        ledger and in this matrix's ``stats.cells_reprogrammed``.
+        """
+        self._programmed.reprogram(stats=self.stats)
+        self.write_count += 1
 
 
 @dataclass
@@ -211,6 +230,7 @@ class HybridSplit:
 
     @property
     def arrays_used(self) -> int:
+        """Total crossbar arrays across the four constituent matrices."""
         return sum(
             m.arrays_used
             for m in (self.slc_a, self.mlc_a, self.slc_b, self.mlc_b)
@@ -218,11 +238,18 @@ class HybridSplit:
         )
 
     def merged_stats(self) -> GemvStats:
+        """Sum of the four constituent matrices' GEMV statistics."""
         total = GemvStats()
         for m in (self.slc_a, self.mlc_a, self.slc_b, self.mlc_b):
             if m is not None:
                 total.merge(m.stats)
         return total
+
+    def reprogram(self) -> None:
+        """Re-write all four constituent matrices (recalibration recovery)."""
+        for m in (self.slc_a, self.mlc_a, self.slc_b, self.mlc_b):
+            if m is not None:
+                m.reprogram()
 
 
 def split_by_rank(
@@ -237,6 +264,7 @@ def split_by_rank(
     rank_range: tuple[int, int] | None = None,
     shard_index: int = 0,
     num_shards: int = 1,
+    backend: CrossbarBackend | None = None,
 ) -> HybridSplit:
     """Place factored weights on SLC/MLC arrays according to ``protected``.
 
@@ -292,6 +320,7 @@ def split_by_rank(
             seed=seed + salt,
             policy=policy,
             shard=shard,
+            backend=backend,
         )
 
     return HybridSplit(

@@ -12,6 +12,7 @@ scheduler.
 from repro.serve.continuous import ContinuousScheduler
 from repro.serve.engine import (
     SCHEDULERS,
+    RecalibrationPolicy,
     ServingEngine,
     ServingStats,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "CacheSlotPool",
     "ContinuousScheduler",
     "GenerationRequest",
+    "RecalibrationPolicy",
     "RequestResult",
     "RowSlotManager",
     "RowSlotStats",

@@ -69,6 +69,7 @@ from repro.serve.slots import CacheSlotPool
 
 __all__ = [
     "GenerationRequest",
+    "RecalibrationPolicy",
     "RequestResult",
     "ServingStats",
     "ServingEngine",
@@ -109,6 +110,11 @@ class ServingStats:
     tokens_generated: int = 0
     batches: int = 0
     iterations: int = 0
+    #: Online-recalibration accounting: drift probes issued, recovery
+    #: actions taken, and layers re-programmed by those recoveries.
+    drift_probes: int = 0
+    recalibrations: int = 0
+    layers_reprogrammed: int = 0
     decode_wall_s: float = 0.0  # time spent inside model forwards
     #: Hardware-projected pipeline occupancy (sum of per-request shares on
     #: the deployed mesh); 0 when the engine carries no shard plan.
@@ -120,6 +126,7 @@ class ServingStats:
 
     @property
     def tokens_per_s(self) -> float:
+        """Generated tokens per second of decode wall-clock."""
         return self.tokens_generated / self.decode_wall_s if self.decode_wall_s else 0.0
 
     @property
@@ -131,34 +138,44 @@ class ServingStats:
 
     @property
     def mean_latency_s(self) -> float:
+        """Mean request latency over the sliding stats window."""
         return _window_mean(self.latencies_s)
 
     @property
     def p95_latency_s(self) -> float:
+        """95th-percentile request latency over the sliding window."""
         return _window_p95(self.latencies_s)
 
     @property
     def mean_ttft_s(self) -> float:
+        """Mean time-to-first-token over the sliding window."""
         return _window_mean(self.ttfts_s)
 
     @property
     def p95_ttft_s(self) -> float:
+        """95th-percentile time-to-first-token over the sliding window."""
         return _window_p95(self.ttfts_s)
 
     @property
     def mean_tpot_s(self) -> float:
+        """Mean time-per-output-token over the sliding window."""
         return _window_mean(self.tpots_s)
 
     @property
     def mean_batch_size(self) -> float:
+        """Mean decode-step batch size over the sliding window."""
         return _window_mean(self.batch_sizes)
 
     def as_dict(self) -> dict:
+        """JSON-friendly snapshot of every counter and windowed statistic."""
         return {
             "requests_completed": self.requests_completed,
             "tokens_generated": self.tokens_generated,
             "batches": self.batches,
             "iterations": self.iterations,
+            "drift_probes": self.drift_probes,
+            "recalibrations": self.recalibrations,
+            "layers_reprogrammed": self.layers_reprogrammed,
             "decode_wall_s": round(self.decode_wall_s, 6),
             "tokens_per_s": round(self.tokens_per_s, 2),
             "projected_busy_s": round(self.projected_busy_s, 9),
@@ -170,6 +187,61 @@ class ServingStats:
             "mean_tpot_s": round(self.mean_tpot_s, 6),
             "mean_batch_size": round(self.mean_batch_size, 3),
         }
+
+
+@dataclass(frozen=True)
+class RecalibrationPolicy:
+    """When and how a :class:`ServingEngine` recovers from device drift.
+
+    Deployed crossbars served through a fault-injecting backend
+    (:class:`~repro.rram.backend.FaultySimBackend`) drift away from their
+    programmed conductances over the backend's ``advance()`` clock.  Under
+    this policy the engine periodically issues deterministic probe GEMVs
+    (:meth:`~repro.pim.hybrid.HybridLinear.probe_drift`) and, when the
+    worst layer's probe error crosses ``drift_threshold``, re-programs the
+    drifted tiles and/or re-runs activation-scale calibration.  Re-program
+    traffic is accounted in :class:`~repro.rram.crossbar.GemvStats` and the
+    backend's wear ledger; probe/recovery counts land in
+    :class:`ServingStats`.
+
+    Parameters
+    ----------
+    interval_steps:
+        Probe every N engine steps that performed work (static batches or
+        continuous iterations).  ``0`` disables automatic probing —
+        :meth:`ServingEngine.recalibrate` can still be called manually.
+    drift_threshold:
+        Worst-layer *increase* in L1-relative probe error over the
+        baseline captured at the first probe.  Static error sources (ADC
+        clipping, the frozen programming-noise draw) are part of the
+        baseline, so the threshold isolates the time-varying drift/wear
+        signal.
+    reprogram:
+        Re-write drifted layers' cells on recovery (resets their drift
+        clock and redraws programming noise, wear-scaled on faulty
+        backends).
+    recalibrate_scales:
+        Re-run deploy-time activation calibration after recovery (requires
+        the engine to hold calibration prompts).
+    probe_seed:
+        Seed of the deterministic probe vectors, so repeated probes measure
+        the same input and their errors are comparable over time.
+    """
+
+    interval_steps: int = 0
+    drift_threshold: float = 0.05
+    reprogram: bool = True
+    recalibrate_scales: bool = True
+    probe_seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate interval and threshold at the boundary."""
+        if self.interval_steps < 0:
+            raise ValueError(f"interval_steps must be >= 0, got {self.interval_steps}")
+        if self.drift_threshold < 0:
+            raise ValueError(
+                f"drift_threshold must be >= 0, got {self.drift_threshold}"
+            )
 
 
 class ServingEngine:
@@ -225,6 +297,8 @@ class ServingEngine:
         scheduler: str = "continuous",
         max_tokens: int | None = None,
         shard_plan=None,
+        recalibration: RecalibrationPolicy | None = None,
+        calibration_prompts: np.ndarray | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -268,6 +342,17 @@ class ServingEngine:
         for name, module in model.named_modules():
             if isinstance(module, HybridLinear):
                 self._hybrid_layers[name] = module
+        # Online recalibration (drift probes + recovery) — see
+        # :class:`RecalibrationPolicy`.  Calibration prompts are retained so
+        # recovery can re-freeze activation scales the same way deploy did.
+        self.recalibration = recalibration
+        self._calibration_prompts = (
+            None
+            if calibration_prompts is None
+            else np.atleast_2d(np.asarray(calibration_prompts, dtype=np.int64))
+        )
+        self._steps_since_probe = 0
+        self._probe_baseline: dict[str, float] | None = None
         # Sharded multi-chip deployment (tensor/pipeline parallelism): the
         # plan drives hardware-projected latency per request and routes
         # pipeline handoff traffic into the mesh's ledger.
@@ -296,6 +381,7 @@ class ServingEngine:
         mesh=None,
         tensor_parallel: int = 1,
         shard_parallel: bool = False,
+        backend=None,
         **engine_kwargs,
     ) -> "ServingEngine":
         """Attach hybrid SLC/MLC layers to ``model`` and wrap it in an engine.
@@ -314,12 +400,21 @@ class ServingEngine:
         hardware-projected latency per request plus the interconnect
         traffic actually exercised.  Calibration runs *after* sharding so
         frozen scales observe the serving-path activations.
+
+        ``backend`` (a :class:`~repro.rram.backend.CrossbarBackend`) selects
+        the crossbar execution target — e.g. a
+        :class:`~repro.rram.backend.FaultySimBackend` for lifetime studies;
+        ``None`` uses the process-wide default.  Pass a
+        :class:`RecalibrationPolicy` via ``recalibration=`` to enable
+        online drift probing and recovery; the calibration prompts are
+        retained on the engine so recovery can re-freeze activation scales.
         """
         import copy
 
         deployed = copy.deepcopy(model)
         attached = attach_hybrid_layers(
-            deployed, plans, noise=noise, mode=mode, seed=seed, policy=policy
+            deployed, plans, noise=noise, mode=mode, seed=seed, policy=policy,
+            backend=backend,
         )
         if mesh is not None:
             from repro.dist import ShardPlan, deploy_sharded
@@ -347,6 +442,7 @@ class ServingEngine:
                 layer.reset_stats()
             if mesh is not None:
                 mesh.reset_traffic()
+            engine_kwargs.setdefault("calibration_prompts", prompts)
         return cls(deployed, **engine_kwargs)
 
     # ------------------------------------------------------------------
@@ -446,6 +542,7 @@ class ServingEngine:
         call ([] when nothing ran or nothing finished); results are also
         retained for :meth:`pop_result` until popped.
         """
+        work_before = self.stats.batches + self.stats.iterations
         if self.scheduler == "static":
             results = self._step_static(force)
         else:
@@ -454,6 +551,8 @@ class ServingEngine:
             self._completed[result.request_id] = result
         while len(self._completed) > self.result_buffer:
             self._completed.pop(next(iter(self._completed)))
+        if self.stats.batches + self.stats.iterations > work_before:
+            self._maybe_recalibrate()
         return results
 
     def _step_static(self, force: bool) -> list[RequestResult]:
@@ -605,6 +704,108 @@ class ServingEngine:
                 )
 
     # ------------------------------------------------------------------
+    # Online recalibration (drift probes + recovery)
+    # ------------------------------------------------------------------
+    def _maybe_recalibrate(self) -> None:
+        """Probe-and-recover per the engine's :class:`RecalibrationPolicy`."""
+        policy = self.recalibration
+        if policy is None or policy.interval_steps == 0 or not self._hybrid_layers:
+            return
+        self._steps_since_probe += 1
+        if self._steps_since_probe < policy.interval_steps:
+            return
+        self._steps_since_probe = 0
+        self.recalibrate()
+
+    def probe_drift(self) -> dict[str, float]:
+        """Issue one deterministic drift probe per deployed hybrid layer.
+
+        Returns ``{layer_name: worst L1-relative probe error}`` (empty when
+        no hybrid layers are attached).  Probe GEMVs execute on the real
+        backend, so their ADC/wordline cost lands in :meth:`gemv_stats`;
+        the probe count lands in ``stats.drift_probes``.
+        """
+        seed = self.recalibration.probe_seed if self.recalibration else 0
+        errors = {
+            name: layer.probe_drift(probe_seed=seed)
+            for name, layer in self._hybrid_layers.items()
+        }
+        if errors:
+            self.stats.drift_probes += 1
+        return errors
+
+    def recalibrate(self, force: bool = False) -> dict:
+        """Probe drift and recover if over threshold (or ``force``).
+
+        The first call captures a per-layer probe-error *baseline* (static
+        ADC clipping and the frozen programming-noise draw); later calls
+        threshold the worst layer's error increase over that baseline, so
+        only the time-varying drift/wear signal can trigger.  Recovery,
+        per the engine's :class:`RecalibrationPolicy` (defaults apply when
+        the engine has none): re-program every hybrid layer's cells
+        (``reprogram=True``) and re-run activation-scale calibration over
+        the retained deploy-time prompts (``recalibrate_scales=True``,
+        requires the engine to hold prompts), then drop the baseline so
+        the next probe re-captures it against the fresh cells.  Returns a
+        summary dict with ``worst_error`` (the baseline-relative drift),
+        ``triggered``, ``layers_reprogrammed`` and ``scales_recalibrated``.
+        """
+        policy = self.recalibration or RecalibrationPolicy()
+        errors = self.probe_drift()
+        if self._probe_baseline is None:
+            self._probe_baseline = dict(errors)
+        baseline = self._probe_baseline
+        worst = max(
+            (max(0.0, err - baseline.get(name, 0.0)) for name, err in errors.items()),
+            default=0.0,
+        )
+        summary = {
+            "worst_error": worst,
+            "triggered": False,
+            "layers_reprogrammed": 0,
+            "scales_recalibrated": False,
+        }
+        if not errors or (not force and worst < policy.drift_threshold):
+            return summary
+        summary["triggered"] = True
+        self._probe_baseline = None
+        self.stats.recalibrations += 1
+        if policy.reprogram:
+            reprogrammed = sum(
+                1
+                for layer in self._hybrid_layers.values()
+                if layer.reprogram() > 0
+            )
+            summary["layers_reprogrammed"] = reprogrammed
+            self.stats.layers_reprogrammed += reprogrammed
+        if policy.recalibrate_scales and self._calibration_prompts is not None:
+            prompts = self._calibration_prompts
+            self.model.eval()
+
+            def run_calibration() -> None:
+                with no_grad():
+                    self.model(prompts)
+
+            calibrate_activations(self._hybrid_layers, run_calibration)
+            summary["scales_recalibrated"] = True
+        return summary
+
+    def backend_health(self) -> list[dict]:
+        """Health reports of every distinct backend the deployed layers use.
+
+        Deduplicated by backend identity; layers without an explicit
+        backend (fast mode, or default-backend deployments) contribute
+        nothing.  Each entry is the backend's
+        :meth:`~repro.rram.backend.CrossbarBackend.health_report`.
+        """
+        seen: dict[int, dict] = {}
+        for layer in self._hybrid_layers.values():
+            backend = getattr(layer, "backend", None)
+            if backend is not None and id(backend) not in seen:
+                seen[id(backend)] = backend.health_report()
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
     # Hardware accounting
     # ------------------------------------------------------------------
     def gemv_stats(self) -> GemvStats:
@@ -656,7 +857,9 @@ class ServingEngine:
 
     @property
     def hybrid_layers(self) -> dict[str, HybridLinear]:
+        """Name -> deployed hybrid layer (copy; attach order preserved)."""
         return dict(self._hybrid_layers)
 
     def is_pim_deployed(self) -> bool:
+        """Whether hybrid SLC/MLC layers are attached to the model."""
         return bool(self._hybrid_layers)

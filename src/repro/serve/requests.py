@@ -38,6 +38,7 @@ class GenerationRequest:
 
     @property
     def prompt_len(self) -> int:
+        """Number of prompt tokens."""
         return int(self.prompt.shape[0])
 
     @property
@@ -85,4 +86,5 @@ class RequestResult:
 
     @property
     def full_sequence(self) -> np.ndarray:
+        """Prompt and generated tokens as one contiguous sequence."""
         return np.concatenate([self.prompt, self.tokens])

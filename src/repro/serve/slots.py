@@ -38,6 +38,7 @@ class SlotPoolStats:
     evictions: int = 0  # pooled slots dropped to make room
 
     def as_dict(self) -> dict[str, int]:
+        """JSON-friendly counter snapshot."""
         return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
 
 
@@ -96,6 +97,7 @@ class CacheSlotPool:
 
     @property
     def free_slots(self) -> int:
+        """Slots currently available for checkout."""
         return len(self._free)
 
     @property
@@ -113,6 +115,7 @@ class RowSlotStats:
     compaction_moves: int = 0  # swap-with-last moves applied on retire
 
     def as_dict(self) -> dict[str, int]:
+        """JSON-friendly counter snapshot."""
         return {
             "checkouts": self.checkouts,
             "retirements": self.retirements,
@@ -139,10 +142,12 @@ class RowSlotManager:
 
     @property
     def n_live(self) -> int:
+        """Rows currently holding an in-flight request."""
         return self._n_live
 
     @property
     def free(self) -> int:
+        """Rows available for admission."""
         return self.capacity - self._n_live
 
     def checkout(self) -> int:

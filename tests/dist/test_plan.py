@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.dist import DeviceMesh, ShardPlan, deploy_sharded, shard_layer_plan
+from repro.dist import (
+    DeviceMesh,
+    ShardPlan,
+    compacted_tile_aligned,
+    deploy_sharded,
+    shard_layer_plan,
+)
 from repro.pim.chip import ChipConfig, group_layers_by_block
 from repro.rram.mapping import ShardSpec, partition_rank
 from repro.svd.pipeline import LayerPlan
@@ -156,6 +162,58 @@ class TestShardPlanBuild:
         mesh = DeviceMesh(chip_config=tiny)
         with pytest.raises(MemoryError, match="scale out"):
             ShardPlan.build(plans, mesh)
+
+
+class TestCompactedTileAlignment:
+    """Regression: sub-tile shard boundaries are surfaced, not silent."""
+
+    def test_aligned_when_both_compacted_counts_hit_tile_boundaries(self):
+        protected = np.zeros(16, dtype=bool)
+        protected[:8] = True  # boundary at 8: 8 protected, 0 unprotected
+        assert compacted_tile_aligned(protected, [(0, 8), (8, 16)], tile=4)
+
+    def test_misaligned_when_protected_prefix_is_not_a_tile_multiple(self):
+        protected = np.zeros(16, dtype=bool)
+        protected[:6] = True  # boundary at 8: 6 protected, 2 unprotected
+        assert not compacted_tile_aligned(protected, [(0, 8), (8, 16)], tile=4)
+
+    def test_misaligned_when_unprotected_prefix_is_not_a_tile_multiple(self):
+        protected = np.zeros(16, dtype=bool)
+        protected[:4] = True  # boundary at 10: 4 protected, 6 unprotected
+        assert not compacted_tile_aligned(protected, [(0, 10), (10, 16)], tile=4)
+
+    def test_single_shard_has_no_interior_boundary(self):
+        protected = np.ones(5, dtype=bool)
+        assert compacted_tile_aligned(protected, [(0, 5)], tile=64)
+
+    def test_tile_of_one_is_always_aligned(self):
+        protected = np.zeros(7, dtype=bool)
+        protected[::2] = True
+        assert compacted_tile_aligned(protected, [(0, 3), (3, 7)], tile=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compacted_tile_aligned(np.zeros(4, dtype=bool), [(0, 4)], tile=0)
+
+    def test_build_flags_subtile_fallback_layers(self, rng):
+        # Rank-16 layers sharded 2-way over 64-row arrays force every
+        # boundary into compacted sub-tile space.
+        plans = make_plans(rng)
+        plan = ShardPlan.build(plans, DeviceMesh(), tensor_parallel=2)
+        assert not plan.fully_tile_aligned
+        assert plan.subtile_layers == sorted(plans)
+        for assignment in plan.layers.values():
+            assert not assignment.tile_aligned
+        desc = plan.describe()
+        assert desc["subtile_fallback_layers"] == len(plans)
+        assert desc["fully_tile_aligned"] is False
+
+    def test_unsharded_build_is_fully_aligned(self, rng):
+        plans = make_plans(rng)
+        plan = ShardPlan.build(plans, DeviceMesh(), tensor_parallel=1)
+        assert plan.fully_tile_aligned
+        assert plan.subtile_layers == []
+        assert plan.describe()["subtile_fallback_layers"] == 0
 
 
 class TestDeploySharded:

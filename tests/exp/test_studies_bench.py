@@ -1,4 +1,4 @@
-"""Tests for the bench_kernels perf-trajectory study."""
+"""Tests for the bench_kernels/bench_serve/bench_faults trajectory studies."""
 
 from __future__ import annotations
 
@@ -55,6 +55,45 @@ SERVE_TINY = {
     "trace_max_batch": 2,
     "trace_reps": 1,
 }
+
+
+FAULTS_TINY = {
+    "protect_fractions": (0.0, 1.0),
+    "rank": 48,
+    "in_features": 48,
+    "out_features": 48,
+    "batch": 4,
+}
+
+
+class TestBenchFaults:
+    def test_registered_with_smoke_config(self):
+        defn = available_experiments()["bench_faults"]
+        assert defn.smoke  # CI runs it via --smoke
+
+    def test_tiny_run_payload_shape_and_gates(self):
+        result = Runner(use_cache=False).run(
+            ExperimentSpec("bench_faults", params=FAULTS_TINY)
+        )
+        value = result.value
+        # 5 scenarios x 2 protection fractions.
+        assert len(value["grid"]) == 10
+        for row in value["grid"]:
+            assert row["error"] >= 0
+        gate = value["gate"]
+        # The paper's premise: SLC protection buys accuracy under
+        # calibrated programming noise, and every fault mechanism hurts.
+        curve = [point["error"] for point in gate["clean_curve"]]
+        assert curve == sorted(curve, reverse=True)
+        assert gate["protection_gain"] > 0
+        assert gate["min_fault_margin"] > 0
+
+    def test_deterministic_across_runs(self):
+        runner = Runner(use_cache=False)
+        spec = ExperimentSpec("bench_faults", params=FAULTS_TINY)
+        first = runner.run(spec).value
+        second = runner.run(spec).value
+        assert first == second
 
 
 class TestBenchServe:

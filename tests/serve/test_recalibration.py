@@ -1,0 +1,162 @@
+"""Online-recalibration tests: drift probes, recovery, wear accounting.
+
+A :class:`ServingEngine` deployed on a :class:`FaultySimBackend` watches
+its crossbars drift away from their programmed conductances and recovers
+by re-programming tiles and re-freezing activation scales — with every
+probe and re-program accounted in :class:`ServingStats`,
+:class:`GemvStats` and the backend's wear ledger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HyFlexPim
+from repro.datasets import wikitext2_like
+from repro.nn import DecoderLM, TransformerConfig
+from repro.rram import FaultModel, FaultySimBackend, SimBackend
+from repro.serve import RecalibrationPolicy, ServingEngine
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    corpus = wikitext2_like(seed=0)
+    config = TransformerConfig(
+        vocab_size=corpus.spec.vocab_size,
+        d_model=16,
+        num_heads=2,
+        num_layers=1,
+        d_ff=32,
+        max_seq_len=corpus.spec.seq_len,
+        seed=0,
+    )
+    lm = DecoderLM(config)
+    hfp = HyFlexPim(protect_fraction=0.2, epochs=1, batch_size=16, seed=0)
+    return corpus, hfp.compile(lm, corpus.train, task_type="lm")
+
+
+def _deploy(compiled, backend=None, **engine_kwargs):
+    corpus, bundle = compiled
+    return ServingEngine.deploy(
+        bundle.model,
+        bundle.plan.layers,
+        calibration_prompts=corpus.train.inputs[:2],
+        mode="crossbar",
+        backend=backend,
+        max_batch_size=2,
+        **engine_kwargs,
+    )
+
+
+class TestRecalibrationPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecalibrationPolicy(interval_steps=-1)
+        with pytest.raises(ValueError):
+            RecalibrationPolicy(drift_threshold=-0.1)
+
+    def test_defaults_disable_automatic_probing(self):
+        assert RecalibrationPolicy().interval_steps == 0
+
+
+class TestDriftProbeAndRecovery:
+    def test_clean_backend_never_drifts_past_baseline(self, compiled):
+        engine = _deploy(compiled, backend=SimBackend())
+        first = engine.recalibrate()  # captures the baseline
+        assert not first["triggered"]
+        second = engine.recalibrate()
+        # SimBackend planes are frozen: the identical probe reads identical
+        # conductances, so baseline-relative drift is exactly zero.
+        assert second["worst_error"] == 0.0
+        assert not second["triggered"]
+        assert engine.stats.drift_probes == 2
+
+    def test_probe_detects_heavy_drift(self, compiled):
+        fault = FaultModel(drift_nu=0.4, drift_t0_s=60.0)
+        backend = FaultySimBackend(fault=fault, seed=0)
+        engine = _deploy(compiled, backend=backend)
+        clean = max(engine.probe_drift().values())
+        backend.advance(seconds=365 * 86_400.0)
+        drifted = max(engine.probe_drift().values())
+        assert drifted > clean
+        assert drifted > 0.05
+
+    def test_recalibrate_reprograms_and_refreezes_scales(self, compiled):
+        fault = FaultModel(drift_nu=0.4, drift_t0_s=60.0)
+        backend = FaultySimBackend(fault=fault, seed=0)
+        engine = _deploy(
+            compiled,
+            backend=backend,
+            recalibration=RecalibrationPolicy(drift_threshold=0.05),
+        )
+        assert not engine.recalibrate()["triggered"]  # day-zero baseline
+        backend.advance(seconds=365 * 86_400.0)
+        reprograms_before = backend.ledger.reprograms
+        summary = engine.recalibrate()
+        assert summary["triggered"]
+        assert summary["worst_error"] > 0.05
+        assert summary["layers_reprogrammed"] == len(engine.hybrid_layers)
+        assert summary["scales_recalibrated"]
+        assert backend.ledger.reprograms > reprograms_before
+        assert engine.stats.recalibrations == 1
+        assert engine.gemv_stats().cells_reprogrammed > 0
+        assert all(l.is_calibrated for l in engine.hybrid_layers.values())
+        # Re-programming reset the drift clock and the baseline: the next
+        # probe-recalibrate cycle sees fresh cells and does not re-trigger.
+        assert not engine.recalibrate()["triggered"]
+        assert not engine.recalibrate()["triggered"]
+
+    def test_recalibrate_below_threshold_is_a_no_op(self, compiled):
+        backend = FaultySimBackend(seed=0)
+        engine = _deploy(
+            compiled,
+            backend=backend,
+            recalibration=RecalibrationPolicy(drift_threshold=0.5),
+        )
+        engine.recalibrate()  # baseline
+        summary = engine.recalibrate()
+        assert not summary["triggered"]
+        assert backend.ledger.reprograms == 0
+        assert engine.stats.recalibrations == 0
+
+    def test_force_triggers_regardless_of_threshold(self, compiled):
+        backend = FaultySimBackend(seed=0)
+        engine = _deploy(compiled, backend=backend)
+        summary = engine.recalibrate(force=True)
+        assert summary["triggered"]
+        assert backend.ledger.reprograms > 0
+
+    def test_periodic_probe_fires_during_serving(self, compiled):
+        corpus, _ = compiled
+        fault = FaultModel(drift_nu=0.4, drift_t0_s=60.0)
+        backend = FaultySimBackend(fault=fault, seed=0)
+        engine = _deploy(
+            compiled,
+            backend=backend,
+            recalibration=RecalibrationPolicy(
+                interval_steps=2, drift_threshold=0.05
+            ),
+        )
+        assert not engine.recalibrate()["triggered"]  # day-zero baseline
+        backend.advance(seconds=365 * 86_400.0)
+        engine.serve([corpus.train.inputs[0][:5]], max_new_tokens=4)
+        assert engine.stats.drift_probes > 1
+        assert engine.stats.recalibrations > 0
+        assert engine.stats.layers_reprogrammed > 0
+
+    def test_backend_health_is_reported(self, compiled):
+        backend = FaultySimBackend(seed=0)
+        engine = _deploy(compiled, backend=backend)
+        reports = engine.backend_health()
+        assert len(reports) == 1
+        assert reports[0]["backend"] == "faulty-sim"
+        assert reports[0]["tiles"] > 0
+
+    def test_stats_dict_carries_recalibration_counters(self, compiled):
+        engine = _deploy(compiled, backend=SimBackend())
+        engine.probe_drift()
+        snapshot = engine.stats.as_dict()
+        assert snapshot["drift_probes"] == 1
+        assert snapshot["recalibrations"] == 0
+        assert snapshot["layers_reprogrammed"] == 0

@@ -1,0 +1,56 @@
+"""Docs stay wired: relative links resolve, trajectories exist.
+
+Runs ``tools/check_docs.py`` in-process so the tier-1 suite catches a
+broken README/docs link or a citation of a BENCH_*.json trajectory the
+repo does not track — the same check the CI ``docs`` job runs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_exist():
+    for name in ("ARCHITECTURE.md", "SERVING.md", "BENCHMARKS.md"):
+        assert (REPO_ROOT / "docs" / name).exists(), name
+
+
+def test_readme_links_docs():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for name in ("ARCHITECTURE.md", "SERVING.md", "BENCHMARKS.md"):
+        assert f"docs/{name}" in readme, name
+
+
+def test_all_relative_links_and_trajectories_resolve():
+    checker = _load_checker()
+    problems = [p for f in checker.doc_files() for p in checker.check_file(f)]
+    assert problems == []
+
+
+def test_checker_flags_broken_references(tmp_path):
+    checker = _load_checker()
+    checker.REPO_ROOT = tmp_path  # scope the checker to a sandbox repo
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "[x](missing.md) cites BENCH_not_tracked.json\n[y](other.md#nope)\n"
+    )
+    (tmp_path / "other.md").write_text("# Hello\n")
+    problems = checker.check_file(bad)
+    assert any("broken link -> missing.md" in p for p in problems)
+    assert any("missing anchor -> other.md#nope" in p for p in problems)
+    assert any("BENCH_not_tracked.json" in p for p in problems)
+    good = tmp_path / "good.md"
+    good.write_text("[y](other.md#hello) and [web](https://example.com)\n")
+    assert checker.check_file(good) == []

@@ -1,0 +1,82 @@
+"""Docs link checker: relative links and BENCH_*.json references resolve.
+
+Scans ``README.md`` and ``docs/*.md`` for
+
+- relative markdown links (``[text](path)`` where ``path`` is not an
+  absolute URL or a bare in-page anchor) — the target file must exist,
+  and a ``#fragment`` on a markdown target must match a heading anchor
+  in that file;
+- ``BENCH_<name>.json`` mentions — the trajectory file must exist at the
+  repo root (CI regenerates them, but the committed docs must only cite
+  trajectories the repo actually tracks).
+
+Run from anywhere: ``python tools/check_docs.py``.  Exits non-zero with
+one line per broken reference.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured up to the closing paren.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BENCH_RE = re.compile(r"\bBENCH_\w+\.json\b")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def doc_files() -> list[Path]:
+    """The markdown files the checker covers."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """GitHub-style anchor slugs for every heading in ``path``."""
+    anchors = set()
+    for title in HEADING_RE.findall(path.read_text(encoding="utf-8")):
+        slug = re.sub(r"[^\w\- ]", "", title.strip().lower().replace("`", ""))
+        anchors.add(slug.replace(" ", "-"))
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken references in one markdown file."""
+    text = path.read_text(encoding="utf-8")
+    rel = path.relative_to(REPO_ROOT)
+    problems = []
+
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target_path, _, fragment = target.partition("#")
+        resolved = (path.parent / target_path).resolve()
+        if not resolved.exists():
+            problems.append(f"{rel}: broken link -> {target}")
+        elif fragment and resolved.suffix == ".md":
+            if fragment not in heading_anchors(resolved):
+                problems.append(f"{rel}: missing anchor -> {target}")
+
+    for bench in sorted(set(BENCH_RE.findall(text))):
+        if not (REPO_ROOT / bench).exists():
+            problems.append(f"{rel}: missing trajectory file -> {bench}")
+
+    return problems
+
+
+def main() -> int:
+    """Check every covered file; print problems; 0 iff all clean."""
+    problems = [p for f in doc_files() for p in check_file(f)]
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"docs OK: {len(doc_files())} files checked")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
