@@ -40,6 +40,21 @@ def test_bench_kernels(benchmark, print_header, fresh_runner):
             f"{row['reference_us']:>10.0f}µ {row['fast_us']:>10.0f}µ "
             f"{row['speedup']:>7.1f}x"
         )
+    decode = value["batched_decode"]
+    print_header(
+        "Batched decode — fused plane-GEMM vs per-row dispatch (tokens/s)"
+    )
+    print(f"{'batch':>5} {'per-row':>9} {'fused':>9} {'speedup':>8}")
+    for row in decode["grid"]:
+        print(
+            f"{row['batch']:>5} {row['per_row_tok_s']:>9.0f} "
+            f"{row['fused_tok_s']:>9.0f} {row['speedup']:>7.1f}x"
+        )
+    sweep = " ".join(
+        f"{p['ways']}-way={p['fused_tok_s']:.0f}" for p in decode["shard_sweep"]
+    )
+    print(f"shard sweep (fused, batch {decode['gate']['batch']}): {sweep} tok/s")
+
     if "fig12_smoke_wall_s" in value:
         print(f"\nfig12 --smoke end-to-end wall-clock: {value['fig12_smoke_wall_s']:.1f}s")
 
@@ -55,3 +70,9 @@ def test_bench_kernels(benchmark, print_header, fresh_runner):
     large_noisy = value["large_noisy"]
     assert large_clean["speedup"] >= 5.0, large_clean
     assert large_noisy["speedup"] >= 2.0, large_noisy
+    # Batched-decode gates (ISSUE 7): the fused plane-GEMM dispatch must
+    # deliver >= 2x per-row tokens/s at batch 32 and scale superlinearly
+    # with batch (fixed packing/dispatch overheads amortize).
+    gate, batch1 = decode["gate"], decode["batch1"]
+    assert gate["speedup"] >= 2.0, gate
+    assert gate["fused_tok_s"] > batch1["fused_tok_s"], decode

@@ -60,6 +60,12 @@ class DeviceMesh:
     hardware:
         Component library used for clocking the traffic ledger and for the
         throughput projection.
+    chip_pus:
+        Optional per-chip PU budgets for a **heterogeneous** mesh — one
+        entry per chip, overriding ``chip_config.num_processing_units``
+        for that chip (mixed-generation deployments, partially-fused-out
+        parts).  ``None`` (default) keeps every chip at the config's
+        budget.
     """
 
     def __init__(
@@ -67,12 +73,31 @@ class DeviceMesh:
         num_chips: int = 1,
         chip_config: ChipConfig | None = None,
         hardware: HardwareConfig | None = None,
+        chip_pus: "list[int] | tuple[int, ...] | None" = None,
     ) -> None:
         if num_chips < 1:
             raise ValueError(f"num_chips must be >= 1, got {num_chips}")
         self.num_chips = num_chips
         self.chip_config = chip_config or ChipConfig()
         self.hardware = hardware or DEFAULT_HARDWARE
+        if chip_pus is None:
+            self.chip_pus = tuple(
+                self.chip_config.num_processing_units for _ in range(num_chips)
+            )
+        else:
+            if len(chip_pus) != num_chips:
+                raise ValueError(
+                    f"chip_pus must list one PU budget per chip: got "
+                    f"{len(chip_pus)} budgets for {num_chips} chips"
+                )
+            budgets = tuple(int(b) for b in chip_pus)
+            bad = [i for i, b in enumerate(budgets) if b < 1]
+            if bad:
+                raise ValueError(
+                    f"chip_pus budgets must be >= 1; chip(s) {bad} have "
+                    f"{[budgets[i] for i in bad]}"
+                )
+            self.chip_pus = budgets
         self.links: dict[str, Link] = {OCI_LINK.name: OCI_LINK, PCIE6_LINK.name: PCIE6_LINK}
         self.traffic: dict[str, LinkTraffic] = {
             name: LinkTraffic() for name in self.links
@@ -85,14 +110,34 @@ class DeviceMesh:
         return self.hardware.clock_hz
 
     @property
+    def is_heterogeneous(self) -> bool:
+        """Whether chips carry different PU budgets."""
+        return len(set(self.chip_pus)) > 1
+
+    def pu_budget(self, chip: int) -> int:
+        """Processing units on ``chip`` (heterogeneous-aware)."""
+        if not 0 <= chip < self.num_chips:
+            raise ValueError(f"chip {chip} out of range [0, {self.num_chips})")
+        return self.chip_pus[chip]
+
+    @property
     def pus_per_chip(self) -> int:
-        """Processing units on each chip."""
-        return self.chip_config.num_processing_units
+        """Processing units on each chip (homogeneous meshes only).
+
+        A heterogeneous mesh has no single per-chip budget; callers that
+        still assume one must be pointed at :meth:`pu_budget`.
+        """
+        if self.is_heterogeneous:
+            raise ValueError(
+                "mesh is heterogeneous (per-chip PU budgets "
+                f"{list(self.chip_pus)}); use pu_budget(chip)"
+            )
+        return self.chip_pus[0]
 
     @property
     def total_pus(self) -> int:
         """Processing units across the whole mesh."""
-        return self.num_chips * self.pus_per_chip
+        return sum(self.chip_pus)
 
     def arrays_per_pu(self) -> int:
         """Analog crossbar arrays each processing unit holds."""
@@ -160,6 +205,29 @@ class DeviceMesh:
             transfers=tokens * boundaries,
         )
 
+    def record_batched_pipeline_handoff(
+        self, hidden_dim: int, rows: int, boundaries: int | None = None
+    ) -> float:
+        """One fused handoff per chip boundary for a whole decode step.
+
+        Batched decode ships every live row's hidden vector across each
+        boundary in **one** launch per boundary per step (``transfers ==
+        boundaries``), instead of :meth:`record_pipeline_handoff`'s
+        per-token launches — same bytes
+        (``rows * boundaries * hidden_dim`` INT8), fewer launch overheads.
+        ``rows`` is the number of hidden vectors crossing (decoded rows
+        plus prefill tokens this step).
+        """
+        if boundaries is None:
+            boundaries = self.num_chips - 1
+        if boundaries < 1 or rows < 1:
+            return 0.0
+        return self.record(
+            PCIE6_LINK.name,
+            float(rows) * boundaries * hidden_dim,
+            transfers=boundaries,
+        )
+
     def reset_traffic(self) -> None:
         """Zero every link ledger (start of a fresh measurement)."""
         for name in self.traffic:
@@ -177,6 +245,11 @@ class DeviceMesh:
         return report
 
     def __repr__(self) -> str:
+        if self.is_heterogeneous:
+            return (
+                f"DeviceMesh(num_chips={self.num_chips}, "
+                f"chip_pus={list(self.chip_pus)})"
+            )
         return (
             f"DeviceMesh(num_chips={self.num_chips}, "
             f"pus_per_chip={self.pus_per_chip})"

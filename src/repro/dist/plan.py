@@ -189,19 +189,28 @@ class ShardPlan:
         """Derive a shard plan for ``plans`` on ``mesh``.
 
         Blocks are split contiguously over the mesh's chips (balanced, in
-        block order — pipeline order is model order).  Within a chip, the
-        PUs are divided into ``tensor_parallel`` contiguous groups; shard
-        ``s`` of every layer on that chip is placed into group ``s`` by a
-        dedicated :class:`HyFlexPimChip` mapper restricted to that group's
-        PU budget.
+        block order — pipeline order is model order).  Within a chip, that
+        chip's PU budget (:meth:`~repro.dist.mesh.DeviceMesh.pu_budget` —
+        heterogeneous meshes carry per-chip budgets) is divided into
+        ``tensor_parallel`` contiguous groups; shard ``s`` of every layer
+        on that chip is placed into group ``s`` by a dedicated
+        :class:`HyFlexPimChip` mapper restricted to that group's PU budget.
+        A chip whose budget cannot host ``tensor_parallel`` groups raises
+        a :class:`ValueError` naming the exhausted chip.
         """
         if tensor_parallel < 1:
             raise ValueError(f"tensor_parallel must be >= 1, got {tensor_parallel}")
-        pus_per_chip = mesh.pus_per_chip
-        if tensor_parallel > pus_per_chip:
+        too_small = [
+            chip
+            for chip in range(mesh.num_chips)
+            if mesh.pu_budget(chip) < tensor_parallel
+        ]
+        if too_small:
+            chip = too_small[0]
             raise ValueError(
-                f"tensor_parallel={tensor_parallel} exceeds the chip's "
-                f"{pus_per_chip} processing units"
+                f"tensor_parallel={tensor_parallel} exceeds chip {chip}'s "
+                f"budget of {mesh.pu_budget(chip)} processing units "
+                f"(per-chip budgets: {list(mesh.chip_pus)})"
             )
         groups = group_layers_by_block(plans)
         blocks = list(groups)
@@ -211,12 +220,11 @@ class ShardPlan:
         for position, block in enumerate(blocks):
             chip_of_block[block] = (position * num_chips) // max(1, len(blocks))
 
-        pus_per_group = pus_per_chip // tensor_parallel
-        if pus_per_group < 1:
-            raise ValueError(
-                f"cannot carve {tensor_parallel} shard groups out of "
-                f"{pus_per_chip} PUs"
-            )
+        # Global PU ids: chips own contiguous ranges in budget order, so a
+        # heterogeneous mesh's ids stay stable and non-overlapping.
+        chip_pu_base = [0] * mesh.num_chips
+        for chip in range(1, mesh.num_chips):
+            chip_pu_base[chip] = chip_pu_base[chip - 1] + mesh.pu_budget(chip - 1)
 
         layers: dict[str, LayerShardAssignment] = {}
         arrays_used = 0
@@ -224,6 +232,7 @@ class ShardPlan:
             chip_blocks = [b for b in blocks if chip_of_block[b] == chip]
             if not chip_blocks:
                 continue
+            pus_per_group = mesh.pu_budget(chip) // tensor_parallel
             chip_names = [name for b in chip_blocks for name in groups[b]]
             # Rank slices are a property of each logical layer, shared by
             # every shard group; boundaries align to whole array row tiles
@@ -273,11 +282,12 @@ class ShardPlan:
                 except MemoryError as exc:
                     raise MemoryError(
                         f"mesh exhausted on chip {chip}, shard group {shard} "
-                        f"({pus_per_group} PUs): {exc}; scale out with more "
-                        "chips or lower tensor_parallel"
+                        f"({pus_per_group} of the chip's {mesh.pu_budget(chip)} "
+                        f"PUs): {exc}; scale out with more chips or lower "
+                        "tensor_parallel"
                     ) from None
                 arrays_used += mapper.arrays_used()
-                base = chip * pus_per_chip + shard * pus_per_group
+                base = chip_pu_base[chip] + shard * pus_per_group
                 for assignment in assignments:
                     for name in assignment.matrices:
                         if shard < len(layers[name].rank_slices):

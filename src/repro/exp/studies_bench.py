@@ -28,7 +28,10 @@ from repro.rram import (
     DEFAULT_NOISE,
     GemvStats,
     KernelPolicy,
+    PlaneCache,
     ProgrammedMatrix,
+    kernel_policy,
+    plane_cache_scope,
 )
 
 __all__ = ["bench_faults", "bench_kernels", "bench_serve"]
@@ -97,6 +100,150 @@ def _bench_point(
     }
 
 
+#: Batched-decode study grid (overridable via params).  The gate point is
+#: fused batch-32: one plane-GEMM dispatch per step must deliver >= 2x the
+#: per-row tokens/s, and fused throughput must scale superlinearly with
+#: batch (tok/s at 32 > tok/s at 1 — fixed packing/dispatch overheads
+#: amortize across the batch).
+DECODE_BATCHES = (1, 8, 32)
+DECODE_WAYS = (1, 2, 4, 8)
+DECODE_GATE_BATCH = 32
+
+
+def _time_call(fn, reps: int) -> float:
+    """Best-of-``reps`` wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _decode_stack(
+    num_layers: int, features: int, rank: int, seed: int, ways: int = 1
+) -> list:
+    """A stack of calibrated noisy crossbar ``HybridLinear`` layers.
+
+    Square (``features -> features``) layers so hidden states chain like a
+    decode step walking a Transformer's crossbar stages; calibration runs
+    layer by layer on the stack's own hidden states, so the fused and
+    per-row replays quantize identical activation codes.
+    """
+    from repro.dist import DeviceMesh
+    from repro.pim.hybrid import HybridLinear
+    from repro.svd.pipeline import LayerPlan
+
+    rng = np.random.default_rng(seed)
+    layers = []
+    for i in range(num_layers):
+        mask = np.zeros(rank, dtype=bool)
+        mask[: rank // 4] = True
+        plan = LayerPlan(
+            name=f"blocks.0.decode{i}",
+            a_matrix=rng.normal(size=(rank, features)) / np.sqrt(features),
+            b_matrix=rng.normal(size=(features, rank)) / np.sqrt(rank),
+            bias=None,
+            protected_ranks=mask,
+            sigma_gradients=rng.random(rank),
+        )
+        layer = HybridLinear(
+            plan, noise=DEFAULT_NOISE, mode="crossbar", seed=seed + i
+        )
+        if ways > 1:
+            layer.deploy(DeviceMesh(), tensor_parallel=ways)
+        layers.append(layer)
+    h = rng.normal(size=(8, features))
+    for layer in layers:
+        layer.begin_calibration()
+        layer.forward(h)
+        layer.finish_calibration()
+        h = layer.forward(h).data
+    return layers
+
+
+def _stack_fused(layers: list, x: np.ndarray) -> np.ndarray:
+    """One fused batched dispatch per layer: gemm kernel + shared PlaneCache."""
+    with kernel_policy(KernelPolicy(mode="gemm")), plane_cache_scope(PlaneCache()):
+        h = x
+        for layer in layers:
+            h = layer.forward(h).data
+    return h
+
+
+def _stack_per_row(layers: list, x: np.ndarray) -> np.ndarray:
+    """The pre-fusion dispatch: every row walks the stack on its own."""
+    with kernel_policy(KernelPolicy(mode="fast")):
+        rows = []
+        for i in range(len(x)):
+            h = x[i : i + 1]
+            for layer in layers:
+                h = layer.forward(h).data
+            rows.append(h)
+    return np.vstack(rows)
+
+
+def _decode_point(
+    layers: list, batch: int, features: int, reps: int, rng: np.random.Generator
+) -> dict[str, Any]:
+    x = rng.normal(size=(batch, features))
+    # Correctness rides along with the timing: the fused dispatch must
+    # reproduce the per-row stack outputs (allclose — only BLAS summation
+    # order differs inside the noisy fused matmul).
+    fused_out = _stack_fused(layers, x)
+    per_row_out = _stack_per_row(layers, x)
+    if not np.allclose(fused_out, per_row_out, rtol=1e-9, atol=1e-9):
+        raise AssertionError(
+            f"fused/per-row decode mismatch at batch={batch}: max abs diff "
+            f"{np.max(np.abs(fused_out - per_row_out))}"
+        )
+    fused_s = _time_call(lambda: _stack_fused(layers, x), reps)
+    per_row_s = _time_call(lambda: _stack_per_row(layers, x), reps)
+    return {
+        "batch": batch,
+        "fused_tok_s": round(batch / fused_s, 1),
+        "per_row_tok_s": round(batch / per_row_s, 1),
+        "speedup": round(per_row_s / fused_s, 2),
+    }
+
+
+def _batched_decode_study(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Fused plane-GEMM decode vs per-row dispatch, plus the shard sweep."""
+    batches = sorted(
+        set(tuple(params.get("decode_batches", DECODE_BATCHES)))
+        | {1, DECODE_GATE_BATCH}  # the gated points are always measured
+    )
+    ways_sweep = tuple(params.get("decode_ways", DECODE_WAYS))
+    num_layers = int(params.get("decode_layers", 3))
+    features = int(params.get("decode_features", 64))
+    rank = int(params.get("decode_rank", 32))
+    reps = int(params.get("reps", 3))
+
+    rng = np.random.default_rng(seed + 17)
+    layers = _decode_stack(num_layers, features, rank, seed)
+    grid = [_decode_point(layers, batch, features, reps, rng) for batch in batches]
+    by_batch = {row["batch"]: row for row in grid}
+
+    # ISSUE-5's 8-way scaling plateau, revisited per-step: one stage-1 GEMM
+    # per shard per decode step instead of per row.
+    shard_sweep = []
+    for ways in ways_sweep:
+        sharded = _decode_stack(num_layers, features, rank, seed, ways=ways)
+        x = rng.normal(size=(DECODE_GATE_BATCH, features))
+        fused_s = _time_call(lambda: _stack_fused(sharded, x), reps)
+        shard_sweep.append(
+            {"ways": ways, "fused_tok_s": round(DECODE_GATE_BATCH / fused_s, 1)}
+        )
+
+    return {
+        "grid": grid,
+        "gate": by_batch[DECODE_GATE_BATCH],
+        "batch1": by_batch[1],
+        "shard_sweep": shard_sweep,
+        "stack": {"layers": num_layers, "features": features, "rank": rank},
+    }
+
+
 def _fig12_smoke_wall_s(seed: int) -> float:
     """End-to-end wall-clock of the Fig. 12 smoke point (uncached)."""
     from repro.exp.registry import get_experiment
@@ -109,7 +256,13 @@ def _fig12_smoke_wall_s(seed: int) -> float:
 
 @experiment(
     "bench_kernels",
-    smoke={"batches": (64,), "out_features": (256,), "reps": 1},
+    smoke={
+        "batches": (64,),
+        "out_features": (256,),
+        "reps": 1,
+        "decode_batches": (1, 32),
+        "decode_ways": (1, 8),
+    },
 )
 def bench_kernels(params: dict[str, Any], seed: int) -> dict[str, Any]:
     """GEMV kernel timings (reference vs fast) + Fig. 12 smoke wall-clock."""
@@ -155,6 +308,7 @@ def bench_kernels(params: dict[str, Any], seed: int) -> dict[str, Any]:
         "grid": grid,
         "large_noiseless": _large(False),
         "large_noisy": _large(True),
+        "batched_decode": _batched_decode_study(params, seed),
     }
     if include_fig12:
         payload["fig12_smoke_wall_s"] = round(_fig12_smoke_wall_s(seed), 3)

@@ -27,7 +27,7 @@ Which kernel runs is governed by :class:`~repro.rram.kernels.KernelPolicy`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -148,6 +148,14 @@ class GemvStats:
     saturated_conversions: int = 0
     input_cycles: int = 0
     cells_reprogrammed: int = 0
+    #: Dispatch-shape counters (``compare=False``): how the work reached the
+    #: arrays, not what the arrays did — per-row and fused dispatch of the
+    #: same workload agree on every hardware counter above while legitimately
+    #: differing here, so equality checks ignore them.
+    planes_packed: int = field(default=0, compare=False)
+    pack_reuses: int = field(default=0, compare=False)
+    fused_rows: int = field(default=0, compare=False)
+    zero_planes_skipped: int = field(default=0, compare=False)
 
     def merge(self, other: "GemvStats") -> None:
         """Accumulate ``other``'s counters into this instance (in place)."""
@@ -158,6 +166,10 @@ class GemvStats:
         self.saturated_conversions += other.saturated_conversions
         self.input_cycles += other.input_cycles
         self.cells_reprogrammed += other.cells_reprogrammed
+        self.planes_packed += other.planes_packed
+        self.pack_reuses += other.pack_reuses
+        self.fused_rows += other.fused_rows
+        self.zero_planes_skipped += other.zero_planes_skipped
 
 
 class ProgrammedMatrix:
@@ -211,6 +223,8 @@ class ProgrammedMatrix:
         self.adc = adc or SarAdc(bits=required_adc_bits(self.config.rows, cell.bits))
         self._saturation_free: bool | None = None
         self._dense_weights_t: np.ndarray | None = None
+        self._stacked_planes: np.ndarray | None = None
+        self._stacked_epoch: int = -1
 
     # -- programmed-cell views (consumed by repro.rram.kernels) ---------------
     @property
@@ -267,6 +281,31 @@ class ProgrammedMatrix:
                 worst = max(worst, int(tile.sum(axis=0).max()))
             self._saturation_free = worst < self.adc.full_scale
         return self._saturation_free
+
+    def stacked_planes(self) -> np.ndarray:
+        """Row tiles stacked for fused GEMM: ``(num_tiles, rows, out*n_s)``.
+
+        Float64 (exact widening of the storage dtype), with the trailing
+        partial tile zero-padded to a full ``rows`` wordlines — padded rows
+        meet only padded zero input bits in the fused operand, so every
+        analog sum matches the per-tile slicing of ``fast_gemv`` bitwise.
+        Cached against the backend's ``epoch`` so fault backends that
+        evolve conductances (``advance()``/``reprogram()``) invalidate the
+        stack automatically.
+        """
+        epoch = self.backend.epoch
+        if self._stacked_planes is None or self._stacked_epoch != epoch:
+            rows = self.config.rows
+            num_tiles = -(-self.in_features // rows)
+            out_cols = self.out_features * self.slices.num_slices
+            flat = self.planes.reshape(self.in_features, out_cols)
+            stacked = np.zeros((num_tiles * rows, out_cols), dtype=np.float64)
+            stacked[: self.in_features] = flat
+            self._stacked_planes = np.ascontiguousarray(
+                stacked.reshape(num_tiles, rows, out_cols)
+            )
+            self._stacked_epoch = epoch
+        return self._stacked_planes
 
     @property
     def dense_weights_t(self) -> np.ndarray:

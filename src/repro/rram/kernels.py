@@ -38,6 +38,26 @@ sums in float64, so their ADC codes — and therefore their integer outputs —
 agree bitwise; the equivalence grid in ``tests/rram/test_kernels.py``
 enforces this for every cell type, noise level and tile-spanning shape.
 
+``gemm``
+    The batched-decode formulation: all live rows' GEMVs are fused into
+    **one** BLAS matmul per (activation bit-plane × programmed plane) pair
+    against the matrix's epoch-cached stacked tile planes
+    (:meth:`~repro.rram.crossbar.ProgrammedMatrix.stacked_planes`), with a
+    single fused :meth:`~repro.rram.adc.SarAdc.convert_` over the whole
+    analog-sum block.  Because every intermediate is an exact integer in
+    float64, the fused path is bitwise-equal to ``fast`` in noiseless mode
+    and allclose under noise (BLAS summation order inside the fused matmul
+    is the only difference).
+
+Batched decode additionally amortizes the activation bit-plane *packing*
+across layers: a :class:`PlaneCache` installed via :func:`plane_cache_scope`
+memoizes the packed uint8 planes of each distinct activation block, keyed by
+content, so the N crossbar matrices of one decode step (SLC + MLC stages of
+every ``HybridLinear``, times shards) pack each activation block once.  The
+cache is invalidated on batch-composition changes through
+:class:`~repro.serve.slots.RowSlotManager` generation counters
+(:meth:`PlaneCache.set_generation`).
+
 The active policy is process-wide by default (:func:`set_default_kernel_policy`
 or the :func:`kernel_policy` context manager) and can be overridden per
 matrix or per call everywhere the GEMV surfaces (``ProgrammedMatrix``,
@@ -46,6 +66,7 @@ matrix or per call everywhere the GEMV surfaces (``ProgrammedMatrix``,
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -58,16 +79,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "KernelPolicy",
+    "PlaneCache",
+    "PlaneCacheStats",
+    "get_active_plane_cache",
     "get_default_kernel_policy",
     "set_default_kernel_policy",
     "kernel_policy",
+    "plane_cache_scope",
     "resolve_policy",
     "reference_gemv",
     "fast_gemv",
+    "fast_gemm",
     "run_gemv",
 ]
 
-_MODES = ("fast", "reference")
+_MODES = ("fast", "reference", "gemm")
 _COMPUTE_DTYPES = ("float32", "float64")
 
 
@@ -76,7 +102,9 @@ class KernelPolicy:
     """Which GEMV kernel to run and how programmed cell planes are stored.
 
     ``mode`` selects the implementation (``"fast"`` is the default and is
-    bitwise-equal to ``"reference"``); ``compute_dtype`` is the storage dtype
+    bitwise-equal to ``"reference"``; ``"gemm"`` fuses batched rows into one
+    matmul per bit-plane pair and is bitwise-equal to ``"fast"`` in
+    noiseless mode, allclose under noise); ``compute_dtype`` is the storage dtype
     of the noisy programmed planes (``"float32"`` halves programmed-weight
     memory versus the historical float64 with no observable effect beyond
     freezing the programming noise at float32 precision).  Analog bitline
@@ -144,6 +172,198 @@ class kernel_policy:
 def resolve_policy(policy: KernelPolicy | None) -> KernelPolicy:
     """``policy`` if given, else the process-wide default."""
     return policy if policy is not None else _default_policy
+
+
+# ----------------------------------------------------------------------
+# Persistent bit-plane packing (batched-decode operand reuse)
+# ----------------------------------------------------------------------
+@dataclass
+class PlaneCacheStats:
+    """Reuse accounting for one :class:`PlaneCache`."""
+
+    planes_packed: int = 0  # bit-planes packed fresh (cache misses)
+    pack_reuses: int = 0  # bit-planes served from the cache (hits)
+    invalidations: int = 0  # generation bumps that dropped live entries
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-friendly counter snapshot."""
+        return {
+            "planes_packed": self.planes_packed,
+            "pack_reuses": self.pack_reuses,
+            "invalidations": self.invalidations,
+        }
+
+
+class PlaneCache:
+    """Memoized activation bit-plane packing for one decode step.
+
+    One decode step pushes the *same* quantized activation block through
+    many programmed matrices (the SLC and MLC stages of every
+    ``HybridLinear``, times tensor-parallel shards), and each of them would
+    re-run :func:`~repro.quant.quantizer.int_to_bit_planes` on identical
+    codes.  The cache keys packed planes by **content**
+    (``input_codes.tobytes()`` plus shape and bit width) rather than array
+    identity — the GEMV entry points copy/validate their inputs, so
+    identity never survives the call boundary — which makes a cache hit
+    bitwise-equivalent to packing fresh by construction.
+
+    Entries also memoize the derived fused-GEMM operand
+    (:meth:`fused_lhs`): the zero-padded ``(tiles, kept_bits*batch, rows)``
+    float64 block :func:`fast_gemm` feeds straight into BLAS, keyed by the
+    consuming matrix's tile geometry.
+
+    Invalidation is driven by the continuous scheduler's
+    :class:`~repro.serve.slots.RowSlotManager` generation counter: any
+    admit/retire changes the batch composition, :meth:`set_generation`
+    observes the bump and drops every entry, so stale packed planes can
+    never be served across a composition change.  A bounded LRU keeps the
+    footprint flat for long-lived schedulers.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = PlaneCacheStats()
+        self._generation: int | None = None
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def set_generation(self, generation: int) -> None:
+        """Drop every entry when the batch-composition generation changed."""
+        if generation != self._generation:
+            if self._entries:
+                self.stats.invalidations += 1
+                self._entries.clear()
+            self._generation = generation
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def _entry(
+        self, input_codes: np.ndarray, input_bits: int, stats: "GemvStats | None"
+    ) -> dict:
+        key = (input_bits, input_codes.shape, input_codes.tobytes())
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.pack_reuses += input_bits
+            if stats is not None:
+                stats.pack_reuses += input_bits
+            return entry
+        masked = input_codes & (2**input_bits - 1)
+        planes = int_to_bit_planes(masked, input_bits)
+        # Bitmask of bit positions set anywhere in the block: plane k is
+        # all-zero iff bit k is clear (the zero-plane skip's oracle).
+        used = int(np.bitwise_or.reduce(masked, axis=None)) if masked.size else 0
+        entry = {"u8": planes, "used": used, "lhs": {}}
+        self._entries[key] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        self.stats.planes_packed += input_bits
+        if stats is not None:
+            stats.planes_packed += input_bits
+        return entry
+
+    def packed(
+        self, input_codes: np.ndarray, input_bits: int, stats: "GemvStats | None" = None
+    ) -> tuple[np.ndarray, int]:
+        """``(uint8 planes (bits, batch, in), used-bit mask)`` for the block."""
+        entry = self._entry(input_codes, input_bits, stats)
+        return entry["u8"], entry["used"]
+
+    def fused_lhs(
+        self,
+        input_codes: np.ndarray,
+        input_bits: int,
+        rows: int,
+        stats: "GemvStats | None" = None,
+    ) -> tuple[np.ndarray, list[int]]:
+        """Fused-GEMM left operand for a matrix with ``rows``-row tiles.
+
+        Returns ``(lhs, kept)``: the zero-padded float64 block of shape
+        ``(num_tiles, len(kept)*batch, rows)`` plus the list of non-zero
+        bit-plane indices it contains (all-zero planes are dropped — the
+        zero-plane skip).  Memoized per (activation block, tile rows), so
+        the SLC and MLC stages consuming the same activations share one
+        materialization.
+        """
+        entry = self._entry(input_codes, input_bits, stats)
+        kept = [k for k in range(input_bits) if (entry["used"] >> k) & 1]
+        lhs = entry["lhs"].get(rows)
+        if lhs is None:
+            lhs = _build_fused_lhs(entry["u8"], kept, rows)
+            entry["lhs"][rows] = lhs
+        return lhs, kept
+
+
+_active_plane_cache: PlaneCache | None = None
+
+
+def get_active_plane_cache() -> PlaneCache | None:
+    """The :class:`PlaneCache` installed by the innermost scope, if any."""
+    return _active_plane_cache
+
+
+class plane_cache_scope:
+    """Context manager installing ``cache`` as the process-wide plane cache.
+
+    The fast kernels consult the active cache for packed activation
+    bit-planes; ``None`` (the default outside any scope) packs fresh on
+    every call.  Scopes nest — the previous cache is restored on exit.
+
+    >>> with plane_cache_scope(PlaneCache()):
+    ...     layer(x)  # every crossbar stage packs x's planes once
+    """
+
+    def __init__(self, cache: PlaneCache | None) -> None:
+        self._cache = cache
+
+    def __enter__(self) -> PlaneCache | None:
+        global _active_plane_cache
+        self._previous = _active_plane_cache
+        _active_plane_cache = self._cache
+        return self._cache
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _active_plane_cache
+        _active_plane_cache = self._previous
+
+
+def _build_fused_lhs(planes_u8: np.ndarray, kept: list[int], rows: int) -> np.ndarray:
+    """Stack ``kept`` bit-planes into the fused operand (tiles, K*batch, rows).
+
+    The trailing partial row tile is zero-padded: padded wordlines carry
+    input bit 0 and contribute exactly 0 to every analog sum, so padding
+    preserves bitwise equivalence with the per-tile slicing of
+    :func:`fast_gemv`.
+    """
+    bits_kept = planes_u8[kept] if kept else planes_u8[:0]
+    num_kept, batch, in_features = bits_kept.shape
+    num_tiles = -(-in_features // rows)
+    flat = np.zeros((num_kept * batch, num_tiles * rows), dtype=np.float64)
+    flat[:, :in_features] = bits_kept.reshape(num_kept * batch, in_features)
+    return np.ascontiguousarray(
+        flat.reshape(num_kept * batch, num_tiles, rows).transpose(1, 0, 2)
+    )
+
+
+def _packed_planes(
+    input_codes: np.ndarray, input_bits: int, stats: "GemvStats | None"
+) -> tuple[np.ndarray, int]:
+    """Packed uint8 planes + used-bit mask, via the active cache if any."""
+    cache = _active_plane_cache
+    if cache is not None:
+        return cache.packed(input_codes, input_bits, stats)
+    masked = input_codes & (2**input_bits - 1)
+    planes = int_to_bit_planes(masked, input_bits)
+    used = int(np.bitwise_or.reduce(masked, axis=None)) if masked.size else 0
+    if stats is not None:
+        stats.planes_packed += input_bits
+    return planes, used
 
 
 # ----------------------------------------------------------------------
@@ -262,7 +482,7 @@ def fast_gemv(
     planes = matrix.planes
     num_slices = matrix.slices.num_slices
     out_cols = matrix.out_features * num_slices
-    bit_planes = int_to_bit_planes(input_codes & (2**input_bits - 1), input_bits)
+    bit_planes, used_bits = _packed_planes(input_codes, input_bits, stats)
     bit_w = input_bit_weights(input_bits).astype(np.float64)
     full_scale = matrix.adc.full_scale
 
@@ -271,14 +491,20 @@ def fast_gemv(
     # BLAS-friendly operands.
     acc = np.zeros((batch, out_cols), dtype=np.float64)
     saturated = 0
+    skipped = 0
     for tile_index in range(num_tiles):
         row_start = tile_index * matrix.config.rows
         row_stop = min(row_start + matrix.config.rows, in_features)
         cells = planes[row_start:row_stop].reshape(row_stop - row_start, out_cols)
         cells = np.ascontiguousarray(cells, dtype=np.float64)
-        tile_bits = bit_planes[:, :, row_start:row_stop].astype(np.float64)
         for k in range(input_bits):
-            sums = tile_bits[k] @ cells  # (batch, out*n_s) analog bitline sums
+            if not (used_bits >> k) & 1:
+                # All-zero activation bit-plane: its analog sums are all 0,
+                # which the ADC converts to code 0 — zero contribution and
+                # provably never saturated.  Skip the pack and the matmul.
+                skipped += 1
+                continue
+            sums = bit_planes[k, :, row_start:row_stop].astype(np.float64) @ cells
             matrix.adc.convert_(sums)  # fused round/clip, in place
             if stats is not None:
                 saturated += int(np.count_nonzero(sums == full_scale))
@@ -287,12 +513,93 @@ def fast_gemv(
             np.add(acc, sums, out=acc)
     if stats is not None:
         stats.saturated_conversions += saturated
+        stats.zero_planes_skipped += skipped
 
     # Digital recombination over weight slices, then offset removal.
     slice_f = matrix.slices.slice_factors.astype(np.float64)
     combined = acc.reshape(batch, matrix.out_features, num_slices) @ slice_f
     result = np.rint(combined).astype(np.int64)
     row_sums = input_codes.sum(axis=1, keepdims=True)
+    return result - matrix.slices.offset * row_sums
+
+
+# ----------------------------------------------------------------------
+# Fused batched kernel — one BLAS matmul per (bit-plane x programmed-plane)
+# ----------------------------------------------------------------------
+def fast_gemm(
+    matrix: "ProgrammedMatrix",
+    input_codes: np.ndarray,
+    input_bits: int,
+    stats: "GemvStats | None" = None,
+) -> np.ndarray:
+    """Fused batched bit-serial GEMM over all rows of ``input_codes``.
+
+    Where :func:`fast_gemv` issues one matmul per (row tile × input bit),
+    this path stacks every kept bit-plane of every batch row into a single
+    zero-padded ``(tiles, kept_bits*batch, rows)`` operand and hits the
+    matrix's epoch-cached stacked planes
+    (:meth:`~repro.rram.crossbar.ProgrammedMatrix.stacked_planes`) with
+    **one** ``np.matmul``, converts the whole analog-sum block through one
+    fused :meth:`~repro.rram.adc.SarAdc.convert_`, and recombines with a
+    single einsum.  All-zero activation bit-planes are dropped from the
+    operand (the same zero-plane skip as :func:`fast_gemv`).
+
+    Every intermediate is an exact integer in float64, so the result is
+    **bitwise-equal** to :func:`fast_gemv` on the same batch in noiseless
+    mode — including every hardware counter in ``stats`` — and allclose
+    under noise, where only BLAS summation order differs.
+    """
+    batch, in_features = input_codes.shape
+    rows = matrix.config.rows
+    num_tiles = -(-in_features // rows)
+
+    if stats is not None:
+        _fill_analytic_stats(stats, matrix, input_codes, input_bits, num_tiles)
+        stats.fused_rows += batch
+
+    if matrix.is_noiseless and matrix.saturation_free:
+        # Same exact shortcut as fast_gemv (see there): the bit-serial
+        # pipeline telescopes to the plain integer GEMV.
+        dense = matrix.dense_weights_t
+        product = input_codes.astype(np.float64) @ dense
+        return np.rint(product).astype(np.int64)
+
+    cache = _active_plane_cache
+    if cache is not None:
+        lhs, kept = cache.fused_lhs(input_codes, input_bits, rows, stats)
+    else:
+        planes_u8, used = _packed_planes(input_codes, input_bits, stats)
+        kept = [k for k in range(input_bits) if (used >> k) & 1]
+        lhs = _build_fused_lhs(planes_u8, kept, rows)
+
+    num_slices = matrix.slices.num_slices
+    row_sums = input_codes.sum(axis=1, keepdims=True)
+    if stats is not None:
+        stats.zero_planes_skipped += (input_bits - len(kept)) * num_tiles
+    if not kept:
+        # Every activation code is 0: nothing reaches the arrays, only the
+        # offset-encoding correction remains (itself 0 when row_sums is 0).
+        zeros = np.zeros((batch, matrix.out_features), dtype=np.int64)
+        return zeros - matrix.slices.offset * row_sums
+
+    # One fused matmul: (tiles, K*batch, rows) @ (tiles, rows, out*n_s).
+    sums = np.matmul(lhs, matrix.stacked_planes())
+    matrix.adc.convert_(sums)  # fused round/clip over the whole block
+    if stats is not None:
+        stats.saturated_conversions += int(
+            np.count_nonzero(sums == matrix.adc.full_scale)
+        )
+
+    # Digital shift & add over kept input-bit planes and row tiles, then
+    # slice recombination and offset removal — all exact integers in float64.
+    from repro.rram.crossbar import input_bit_weights
+
+    bit_w = input_bit_weights(input_bits).astype(np.float64)[kept]
+    codes = sums.reshape(num_tiles, len(kept), batch, -1)
+    acc = np.einsum("tkbc,k->bc", codes, bit_w)
+    slice_f = matrix.slices.slice_factors.astype(np.float64)
+    combined = acc.reshape(batch, matrix.out_features, num_slices) @ slice_f
+    result = np.rint(combined).astype(np.int64)
     return result - matrix.slices.offset * row_sums
 
 
@@ -307,4 +614,6 @@ def run_gemv(
     policy = resolve_policy(policy)
     if policy.mode == "reference":
         return reference_gemv(matrix, input_codes, input_bits, stats)
+    if policy.mode == "gemm":
+        return fast_gemm(matrix, input_codes, input_bits, stats)
     return fast_gemv(matrix, input_codes, input_bits, stats)

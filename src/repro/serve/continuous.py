@@ -46,6 +46,7 @@ import numpy as np
 from repro.nn.kv_cache import KVCache
 from repro.nn.tensor import no_grad
 from repro.nn.transformer import DecoderLM
+from repro.rram.kernels import PlaneCache, plane_cache_scope
 from repro.serve.requests import GenerationRequest, RequestResult
 from repro.serve.slots import CacheSlotPool, RowSlotManager
 
@@ -84,6 +85,7 @@ class ContinuousScheduler:
         rng: np.random.Generator | None = None,
         eos_id: int | None = None,
         max_tokens: int | None = None,
+        plane_cache: bool = True,
     ) -> None:
         if max_tokens is not None and max_tokens < 1:
             raise ValueError(f"max_tokens must be >= 1, got {max_tokens}")
@@ -98,6 +100,14 @@ class ContinuousScheduler:
         self._rows: list[_RowState | None] = [None] * max_batch_size
         self._cache: KVCache | None = None
         self._reserved_tokens = 0  # sum of token_need over live rows
+        # Packed-activation reuse across the crossbar stages of one decode
+        # step (see repro.rram.kernels.PlaneCache): installed around every
+        # step() and invalidated whenever the batch composition changes via
+        # the RowSlotManager generation counter.  plane_cache=False packs
+        # fresh on every layer call (the golden-equivalence control).
+        self.plane_cache: PlaneCache | None = PlaneCache() if plane_cache else None
+        self.last_decode_rows = 0  # rows advanced by the latest step()
+        self.last_prefill_tokens = 0  # prompt tokens prefilled by the latest step()
 
     # ------------------------------------------------------------------
     @property
@@ -120,10 +130,13 @@ class ContinuousScheduler:
         ``generate`` (which also decodes in eval mode) emits.
         """
         completed: list[RequestResult] = []
+        self.last_decode_rows = 0
+        self.last_prefill_tokens = 0
         was_training = self.model.training
         self.model.eval()
         try:
-            with no_grad():
+            with no_grad(), plane_cache_scope(self.plane_cache):
+                self._sync_plane_cache()
                 self._admit(queue, completed)
                 self._sweep_finished(completed)  # budget-1 / instant-EOS rows
                 self._decode_once()
@@ -138,6 +151,17 @@ class ContinuousScheduler:
             self.slot_pool.release(self._cache)
             self._cache = None
         return completed
+
+    # ------------------------------------------------------------------
+    def _sync_plane_cache(self) -> None:
+        """Invalidate packed planes when the batch composition changed.
+
+        Called before every model forward and after every checkout/retire:
+        the cache compares the slot manager's generation counter, so stale
+        packed activations can never survive an admit or retirement.
+        """
+        if self.plane_cache is not None:
+            self.plane_cache.set_generation(self.slots.generation)
 
     # ------------------------------------------------------------------
     # Admission
@@ -162,6 +186,7 @@ class ContinuousScheduler:
                 self._cache = self.slot_pool.acquire(self.max_batch_size)
                 self._cache.reset()
             row = self.slots.checkout()
+            self._sync_plane_cache()
             self._reserved_tokens += request.token_need
             state = _RowState(
                 request=request,
@@ -176,6 +201,7 @@ class ContinuousScheduler:
             view.reset()
             logits = self.model.prefill(request.prompt, view)
             token = self.model.select_tokens(logits, self.rng)
+            self.last_prefill_tokens += int(request.prompt.size)
             self._emit(state, int(token[0]))
 
     def _empty_result(self, request: GenerationRequest, admitted_at: float) -> RequestResult:
@@ -212,6 +238,8 @@ class ContinuousScheduler:
         n = self.live
         if n == 0:
             return
+        self._sync_plane_cache()
+        self.last_decode_rows = n
         feeds = np.array([[self._rows[i].feed] for i in range(n)], dtype=np.int64)
         view = self._cache.rows_view(0, n)
         logits = self.model.forward(feeds, cache=view).data[:, -1]
@@ -253,6 +281,7 @@ class ContinuousScheduler:
         row = state.row
         self._reserved_tokens -= state.request.token_need
         moved_src = self.slots.retire(row)
+        self._sync_plane_cache()
         if moved_src is None:
             self._rows[row] = None
             self._cache.clear_row(row)

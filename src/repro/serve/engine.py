@@ -115,6 +115,12 @@ class ServingStats:
     drift_probes: int = 0
     recalibrations: int = 0
     layers_reprogrammed: int = 0
+    #: Batched-decode fast-path accounting (continuous scheduler): activation
+    #: bit-planes packed fresh vs. served from the step's PlaneCache, and
+    #: rows dispatched through the fused ``fast_gemm`` kernel.
+    planes_packed: int = 0
+    pack_reuses: int = 0
+    fused_rows: int = 0
     decode_wall_s: float = 0.0  # time spent inside model forwards
     #: Hardware-projected pipeline occupancy (sum of per-request shares on
     #: the deployed mesh); 0 when the engine carries no shard plan.
@@ -176,6 +182,9 @@ class ServingStats:
             "drift_probes": self.drift_probes,
             "recalibrations": self.recalibrations,
             "layers_reprogrammed": self.layers_reprogrammed,
+            "planes_packed": self.planes_packed,
+            "pack_reuses": self.pack_reuses,
+            "fused_rows": self.fused_rows,
             "decode_wall_s": round(self.decode_wall_s, 6),
             "tokens_per_s": round(self.tokens_per_s, 2),
             "projected_busy_s": round(self.projected_busy_s, 9),
@@ -271,6 +280,12 @@ class ServingEngine:
         positions (prompt + full budget) reserved by in-flight requests
         never exceeds this.  ``None`` = bounded by ``max_batch_size`` and
         the model's ``max_seq_len`` alone.
+    plane_cache:
+        Continuous only: memoize packed activation bit-planes across the
+        crossbar stages of each decode step
+        (:class:`~repro.rram.kernels.PlaneCache`; default on).  ``False``
+        packs fresh on every layer call — the bitwise-identical control
+        the plane-cache equivalence tests compare against.
     cache_slots:
         Size of the KV-cache slot pool (free slots retained across
         batches / busy periods).
@@ -296,6 +311,7 @@ class ServingEngine:
         clock: Callable[[], float] = time.perf_counter,
         scheduler: str = "continuous",
         max_tokens: int | None = None,
+        plane_cache: bool = True,
         shard_plan=None,
         recalibration: RecalibrationPolicy | None = None,
         calibration_prompts: np.ndarray | None = None,
@@ -327,6 +343,7 @@ class ServingEngine:
                 rng=rng,
                 eos_id=eos_id,
                 max_tokens=max_tokens,
+                plane_cache=plane_cache,
             )
         elif max_tokens is not None:
             raise ValueError("max_tokens is an admission budget of the continuous scheduler")
@@ -572,6 +589,21 @@ class ServingEngine:
         results = scheduler.step(self._queue)
         self.stats.iterations += 1
         self.stats.decode_wall_s += self.clock() - started
+        if scheduler.plane_cache is not None:
+            self.stats.planes_packed = scheduler.plane_cache.stats.planes_packed
+            self.stats.pack_reuses = scheduler.plane_cache.stats.pack_reuses
+        self.stats.fused_rows = self.gemv_stats().fused_rows
+        if self._projection is not None:
+            # Batched decode ships the whole step's hidden vectors across
+            # each chip boundary in one fused launch per boundary (case 3),
+            # instead of one launch per row: same bytes, per-step (not
+            # per-row) ledger accounting.
+            rows = scheduler.last_decode_rows + scheduler.last_prefill_tokens
+            self.shard_plan.mesh.record_batched_pipeline_handoff(
+                self.model.config.d_model,
+                rows=rows,
+                boundaries=self.shard_plan.pipeline_boundaries,
+            )
         self._record_results(results)
         return results
 
@@ -694,14 +726,17 @@ class ServingEngine:
                 self.stats.projected_busy_s += self._projection.request_busy_s(
                     prompt_len, generated
                 )
-                # Every position of this request crossed each chip boundary
-                # once (case 3): record the PCIe-6.0 hidden-vector traffic
-                # actually exercised by the pipeline layout.
-                self.shard_plan.mesh.record_pipeline_handoff(
-                    self.model.config.d_model,
-                    tokens=prompt_len + generated,
-                    boundaries=self.shard_plan.pipeline_boundaries,
-                )
+                if self.scheduler == "static":
+                    # Every position of this request crossed each chip
+                    # boundary once (case 3): record the PCIe-6.0
+                    # hidden-vector traffic actually exercised by the
+                    # pipeline layout.  (The continuous path accounts this
+                    # per step, fused across rows, in _step_continuous.)
+                    self.shard_plan.mesh.record_pipeline_handoff(
+                        self.model.config.d_model,
+                        tokens=prompt_len + generated,
+                        boundaries=self.shard_plan.pipeline_boundaries,
+                    )
 
     # ------------------------------------------------------------------
     # Online recalibration (drift probes + recovery)

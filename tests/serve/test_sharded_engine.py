@@ -148,9 +148,16 @@ class TestInterconnectTraffic:
         prompt = rng.integers(0, 40, size=5)
         [result] = engine.serve([prompt], max_new_tokens=3)
         pcie = engine.shard_plan.mesh.traffic["pcie6"]
-        # One INT8 hidden vector per boundary per position served.
-        positions = prompt.size + int(result.tokens.size)
+        # One INT8 hidden vector per boundary per position actually
+        # forwarded: the prompt's prefill plus one decode per generated
+        # token except the last (emitted, never fed back).  The continuous
+        # path records this per step, fused across rows — one transfer
+        # launch per boundary per step, not per row.
+        positions = prompt.size + int(result.tokens.size) - 1
         assert pcie.num_bytes == pytest.approx(positions * model.config.d_model)
+        # Fused per-step launches: strictly fewer transfers than the
+        # per-position accounting the static path uses.
+        assert 0 < pcie.transfers < positions
 
     def test_static_scheduler_also_projects(self, model, plans, rng):
         calib = rng.integers(0, 40, size=(2, 6))
