@@ -222,9 +222,24 @@ class HyFlexPimEnergyModel:
     # Digital attention + SFU
     # ------------------------------------------------------------------
     def attention_energy(
-        self, spec: ModelSpec, seq_len: int, mode: str = "prefill"
+        self,
+        spec: ModelSpec,
+        seq_len: int,
+        mode: str = "prefill",
+        attention: str = "digital",
     ) -> EnergyBreakdown:
-        """Q·Kᵀ and S·V on digital PIM, plus operand writes and softmax SFU."""
+        """Q·Kᵀ and S·V on digital PIM, plus operand writes and softmax SFU.
+
+        ``attention="analog"`` delegates to :meth:`analog_attention_energy`
+        — the dynamic products as MLC crossbar GEMVs with real-time KV
+        operand writes (the serving path's ``deploy(attention="analog")``).
+        """
+        if attention not in ("digital", "analog"):
+            raise ValueError(
+                f'attention must be "digital" or "analog", got {attention!r}'
+            )
+        if attention == "analog":
+            return self.analog_attention_energy(spec, seq_len, mode)
         ops = stage_op_counts(spec, seq_len, mode)
         macs = ops.attention_total() / 2.0  # counts are 2x MACs
         breakdown = EnergyBreakdown()
@@ -246,11 +261,69 @@ class HyFlexPimEnergyModel:
         breakdown.add("sfu", norm_elems * self.sfu_op_pj)
         return breakdown
 
+    def analog_attention_energy(
+        self, spec: ModelSpec, seq_len: int, mode: str = "prefill"
+    ) -> EnergyBreakdown:
+        """Q·Kᵀ and S·V as MLC crossbar GEMVs over dynamic KV operands.
+
+        Models the serving path's ``deploy(attention="analog")``: per head,
+        the query streams over a bitline-grown key operand (out = cached
+        context, in = d_head) and the probability row over a wordline-grown
+        value operand (out = d_head, in = context), both on 2-b MLC — so
+        the dynamic products inherit the analog stack's ADC/driver/S&H
+        costs instead of digital-PIM NOR MACs.  The GEMV geometry mirrors
+        :func:`~repro.arch.workload.stage_op_counts` exactly (prefill:
+        ``L`` queries against an ``L``-wide context; decode: ``L`` emitted
+        tokens against the ``(L+1)/2`` average cached prefix), so the
+        analog/digital ratio isolates the per-operation cost shift.  K/V
+        operand writes are *real-time* (one MLC program per token per
+        layer, both operands) and are charged in full under
+        ``rram_write_analog`` — unlike static weights they are not
+        amortized over an inference corpus.  Softmax and LayerNorm stay on
+        the SFU exactly as in the digital path.
+        """
+        ops = stage_op_counts(spec, seq_len, mode)  # validates mode too
+        d_head = spec.d_model // spec.num_heads
+        queries = float(seq_len)
+        tokens_written = float(seq_len)
+        context = (seq_len + 1) / 2.0 if mode == "decode" else float(seq_len)
+        gemvs = queries * spec.num_heads
+        per_layer = EnergyBreakdown()
+        per_layer.merge(self.gemv_energy(context, d_head, 2, gemvs))  # Q·Kᵀ
+        per_layer.merge(self.gemv_energy(d_head, context, 2, gemvs))  # S·V
+        breakdown = EnergyBreakdown()
+        for category, pj in per_layer.categories.items():
+            breakdown.add(category, pj * spec.num_layers)
+        # Real-time K/V operand programming: 2 operands x d_model codes per
+        # token per layer at MLC write cost, charged per token (no
+        # write-amortization — every served token pays its own writes).
+        kv_bits = (
+            tokens_written * 2.0 * spec.d_model * self.hw.weight_bits * spec.num_layers
+        )
+        write_pj = kv_bits * self.hw.slc_write_pj_per_bit * (
+            self.hw.mlc_write_pulses / 2.0
+        )
+        breakdown.add("rram_write_analog", write_pj)
+        breakdown.add("sfu", ops.nonlinear_total() * self.sfu_op_pj)
+        norm_elems = 2.0 * seq_len * spec.d_model * spec.num_layers * 7
+        breakdown.add("sfu", norm_elems * self.sfu_op_pj)
+        return breakdown
+
     # ------------------------------------------------------------------
     def end_to_end_energy(
-        self, spec: ModelSpec, seq_len: int, slc_rate: float, mode: str = "prefill"
+        self,
+        spec: ModelSpec,
+        seq_len: int,
+        slc_rate: float,
+        mode: str = "prefill",
+        attention: str = "digital",
     ) -> EnergyBreakdown:
-        """Full-inference energy with the Fig. 15 breakdown categories."""
+        """Full-inference energy with the Fig. 15 breakdown categories.
+
+        ``attention`` selects where the dynamic attention products run:
+        Fig. 15's digital PIM (default, bitwise-stable) or the analog
+        dynamic-operand path (see :meth:`analog_attention_energy`).
+        """
         breakdown = self.linear_layers_energy(spec, seq_len, slc_rate, mode)
-        breakdown.merge(self.attention_energy(spec, seq_len, mode))
+        breakdown.merge(self.attention_energy(spec, seq_len, mode, attention=attention))
         return breakdown

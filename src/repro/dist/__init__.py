@@ -15,6 +15,7 @@ throughput.
 >>> HardwareProjection(plan, hidden_dim=d_model).pipeline_rate_tokens_per_s()
 """
 
+from repro.dist.attention import AttentionPlacement, place_attention_heads
 from repro.dist.mesh import DeviceMesh, LinkTraffic
 from repro.dist.plan import (
     LayerShardAssignment,
@@ -25,6 +26,7 @@ from repro.dist.plan import (
 from repro.dist.projection import HardwareProjection
 
 __all__ = [
+    "AttentionPlacement",
     "DeviceMesh",
     "HardwareProjection",
     "LayerShardAssignment",
@@ -32,6 +34,7 @@ __all__ = [
     "ShardPlan",
     "compacted_tile_aligned",
     "deploy_sharded",
+    "place_attention_heads",
     "shard_layer_plan",
 ]
 

@@ -1,0 +1,115 @@
+"""Attention-head shard placement for the analog attention path.
+
+The dynamic-operand attention path (``ServingEngine.deploy(attention=
+"analog")``) gives every ``(layer, head)`` pair its own pair of crossbar
+KV operand tiles.  On a multi-chip :class:`~repro.dist.mesh.DeviceMesh`
+those tiles must live *somewhere*: this module derives a deterministic
+placement from the deployment's :class:`~repro.dist.plan.ShardPlan`
+(or, planless, from the raw mesh) and exposes it through the small
+``head_chip``/``block_chip`` surface the
+:class:`~repro.pim.attention.CrossbarAttentionExecutor` consults when it
+charges per-token KV-write traffic to the interconnect ledger: a head
+co-located with its block's chip writes over the on-chip link, a remote
+head over the chip-to-chip link.
+
+The policy is round-robin *anchored at the block's own chip*: head 0 of
+every layer is co-located (the common case stays on the cheap link), and
+the remaining heads rotate over the chips the plan actually uses, which
+spreads KV-write wear evenly across the mesh instead of concentrating
+every dynamic write on the pipeline-stage chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AttentionPlacement", "place_attention_heads"]
+
+
+@dataclass(frozen=True)
+class AttentionPlacement:
+    """Immutable ``(layer, head) -> chip`` map for KV operand tiles.
+
+    Built by :func:`place_attention_heads`; consumed by the crossbar
+    attention executor's traffic accounting.
+    """
+
+    #: chip index for each ``(layer, head)`` pair
+    head_chips: dict
+    #: chip index of each transformer block (pipeline stage)
+    block_chips: dict
+    #: chips participating in the placement, in rotation order
+    chips: tuple
+
+    def head_chip(self, layer: int, head: int) -> int:
+        """Chip holding the KV operand tiles of ``(layer, head)``."""
+        return self.head_chips[(layer, head)]
+
+    def block_chip(self, layer: int) -> int:
+        """Chip executing transformer block ``layer``."""
+        return self.block_chips.get(layer, self.chips[0])
+
+    def colocated_fraction(self) -> float:
+        """Fraction of heads placed on their own block's chip."""
+        if not self.head_chips:
+            return 0.0
+        hits = sum(
+            1
+            for (layer, _head), chip in self.head_chips.items()
+            if chip == self.block_chip(layer)
+        )
+        return hits / len(self.head_chips)
+
+    def describe(self) -> dict:
+        """JSON-friendly placement summary."""
+        return {
+            "heads": len(self.head_chips),
+            "chips": list(self.chips),
+            "colocated_fraction": round(self.colocated_fraction(), 4),
+        }
+
+
+def place_attention_heads(plan_or_mesh, num_layers: int, num_heads: int) -> AttentionPlacement:
+    """Assign every attention head's KV operand tiles to a mesh chip.
+
+    Parameters
+    ----------
+    plan_or_mesh:
+        A :class:`~repro.dist.plan.ShardPlan` (block placement is read
+        from ``chip_of_block``) or a bare
+        :class:`~repro.dist.mesh.DeviceMesh` (blocks spread round-robin
+        over all chips).
+    num_layers / num_heads:
+        Attention geometry of the deployed model.
+
+    Returns
+    -------
+    AttentionPlacement
+        Head 0 of each layer sits on the block's own chip; subsequent
+        heads rotate over the participating chips from that anchor, so
+        single-chip meshes are fully co-located and multi-chip meshes
+        split KV-write traffic between the on-chip and chip-to-chip
+        links deterministically.
+    """
+    if num_layers < 1 or num_heads < 1:
+        raise ValueError("num_layers and num_heads must be positive")
+    chip_of_block = getattr(plan_or_mesh, "chip_of_block", None)
+    if chip_of_block is not None:
+        mesh = plan_or_mesh.mesh
+        chips = tuple(sorted(set(chip_of_block.values()))) or (0,)
+        block_chips = {
+            layer: chip_of_block.get(layer, chips[layer % len(chips)])
+            for layer in range(num_layers)
+        }
+    else:
+        mesh = plan_or_mesh
+        chips = tuple(range(mesh.num_chips))
+        block_chips = {layer: chips[layer % len(chips)] for layer in range(num_layers)}
+    head_chips = {}
+    for layer in range(num_layers):
+        anchor = chips.index(block_chips[layer])
+        for head in range(num_heads):
+            head_chips[(layer, head)] = chips[(anchor + head) % len(chips)]
+    return AttentionPlacement(
+        head_chips=head_chips, block_chips=block_chips, chips=chips
+    )

@@ -12,6 +12,7 @@ from typing import Any
 
 from repro.arch import (
     STAGES,
+    HyFlexPimEnergyModel,
     PerformanceComparison,
     ScalabilityModel,
     stage_op_counts,
@@ -102,12 +103,38 @@ def fig15_end_to_end_energy(params: dict[str, Any], seed: int) -> dict[str, Any]
         breakdowns[spec.name] = {
             "rows": [[float(per_n_shares[n][c]) for c in categories] for n in seq_lens],
         }
+    # Analog-vs-digital attention study: what moving the dynamic products
+    # onto MLC dynamic operands (deploy(attention="analog")) does to the
+    # attention and end-to-end energy, per case and sequence length.
+    energy_model = HyFlexPimEnergyModel()
+    attention: dict[str, Any] = {}
+    for name, rate in cases:
+        spec = paper_model(name)
+        digital = [
+            energy_model.attention_energy(spec, n).total_uj() for n in seq_lens
+        ]
+        analog = [
+            energy_model.attention_energy(spec, n, attention="analog").total_uj()
+            for n in seq_lens
+        ]
+        attention[spec.name] = {
+            "digital_uj": digital,
+            "analog_uj": analog,
+            "analog_over_digital": [a / d for a, d in zip(analog, digital)],
+            "end_to_end_analog_uj": [
+                energy_model.end_to_end_energy(
+                    spec, n, rate, attention="analog"
+                ).total_uj()
+                for n in seq_lens
+            ],
+        }
     return {
         "seq_lens": seq_lens,
         "baselines": baselines,
         "categories": categories,
         "improvements": improvements,
         "breakdowns": breakdowns,
+        "attention": attention,
     }
 
 

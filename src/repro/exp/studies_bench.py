@@ -34,7 +34,7 @@ from repro.rram import (
     plane_cache_scope,
 )
 
-__all__ = ["bench_faults", "bench_kernels", "bench_serve"]
+__all__ = ["bench_attention", "bench_faults", "bench_kernels", "bench_serve"]
 
 #: The benchmark grid (overridable via params).  The "large" point is the
 #: one the CI perf gate checks; it matches the ISSUE-2 acceptance criteria
@@ -782,4 +782,237 @@ def bench_faults(params: dict[str, Any], seed: int) -> dict[str, Any]:
         "protect_fractions": list(fractions),
         "grid": grid,
         "gate": gate,
+    }
+
+
+# ----------------------------------------------------------------------
+# Analog-attention benchmark: dynamic-operand crossbar attention serving
+# ----------------------------------------------------------------------
+
+#: Batch grid for host-vs-analog attention serving.  Every point is
+#: correctness-gated in-study: a noiseless analog deployment must emit
+#: exactly the tokens of the host engine running
+#: :class:`~repro.pim.ReferenceQuantizedAttention` (the numpy
+#: specification of the same INT8 math), and the executor's wear counters
+#: must grow strictly monotonically across the grid.
+ATTENTION_BATCHES = (1, 4, 8)
+
+#: Default geometry keeps every dynamic operand saturation-free on MLC2
+#: (64-row tiles, 7-bit ADC full scale): ``max_seq_len`` <= 42 bounds the
+#: worst-case signed column sum below the ADC clip, so the noiseless fast
+#: GEMV is the exact integer product the equality gate relies on.
+ATTENTION_MAX_SEQ = 40
+
+
+def _attention_model(params: dict[str, Any], seed: int):
+    from repro.nn import DecoderLM, TransformerConfig
+
+    config = TransformerConfig(
+        vocab_size=int(params.get("vocab_size", 64)),
+        d_model=int(params.get("d_model", 32)),
+        num_heads=int(params.get("num_heads", 4)),
+        num_layers=int(params.get("num_layers", 2)),
+        d_ff=int(params.get("d_ff", 64)),
+        max_seq_len=int(params.get("max_seq_len", ATTENTION_MAX_SEQ)),
+        seed=seed,
+    )
+    return DecoderLM(config)
+
+
+def _attention_plans(model, seed: int) -> dict:
+    from repro.svd.pipeline import LayerPlan
+
+    rng = np.random.default_rng(seed)
+    plans = {}
+    for name, linear in model.iter_static_linears():
+        out_f, in_f = linear.weight.data.shape
+        r = min(out_f, in_f)
+        mask = np.zeros(r, dtype=bool)
+        mask[: r // 2] = True
+        plans[name] = LayerPlan(
+            name=name,
+            a_matrix=rng.normal(size=(r, in_f)) / np.sqrt(in_f),
+            b_matrix=rng.normal(size=(out_f, r)) / np.sqrt(r),
+            bias=None,
+            protected_ranks=mask,
+            sigma_gradients=rng.random(r),
+        )
+    return plans
+
+
+def _attention_engine(attention: str, params: dict[str, Any], seed: int, max_batch: int):
+    from repro.rram.backend import SimBackend
+    from repro.rram.noise import NoiseSpec
+    from repro.serve import ServingEngine
+
+    model = _attention_model(params, seed)
+    calib = np.random.default_rng(seed + 7).integers(
+        0, model.config.vocab_size, size=(2, 6)
+    )
+    return ServingEngine.deploy(
+        model,
+        _attention_plans(model, seed),
+        calibration_prompts=calib,
+        noise=NoiseSpec.noiseless(),
+        mode="crossbar",
+        seed=seed,
+        backend=SimBackend(),
+        attention=attention,
+        max_batch_size=max_batch,
+    )
+
+
+def _attention_reference_engine(params: dict[str, Any], seed: int, max_batch: int):
+    """Host engine whose attention runs the quantized numpy reference."""
+    from repro.pim import CrossbarAttentionExecutor, ReferenceQuantizedAttention
+    from repro.rram.backend import SimBackend
+
+    engine = _attention_engine("host", params, seed, max_batch)
+    executor = CrossbarAttentionExecutor(backend=SimBackend())
+    for block in engine.model.blocks:
+        block.attn = ReferenceQuantizedAttention.from_host(block.attn, executor)
+    return engine
+
+
+def _wear_snapshot(executor) -> dict[str, Any]:
+    wear = executor.wear_report()
+    return {
+        "kv_tokens_written": wear["kv_tokens_written"],
+        "dynamic_writes": wear["dynamic_writes"],
+        "dynamic_write_pulses": wear["dynamic_write_pulses"],
+        "max_wear_fraction": wear["max_wear_fraction"],
+    }
+
+
+def _attention_point(
+    engines: dict[str, Any],
+    batch: int,
+    new_tokens: int,
+    reps: int,
+    rng: np.random.Generator,
+    vocab: int,
+) -> dict[str, Any]:
+    lengths = rng.integers(3, 11, size=batch)
+    prompts = [rng.integers(0, vocab, size=int(n)) for n in lengths]
+
+    def _toks(engine):
+        return [list(r.tokens) for r in engine.serve(prompts, max_new_tokens=new_tokens)]
+
+    # The equality gate rides along with every timing: noiseless analog
+    # tokens must be bitwise identical to the quantized numpy reference
+    # through the continuous scheduler at batch > 1.
+    toks_analog = _toks(engines["analog"])
+    toks_reference = _toks(engines["reference"])
+    if toks_analog != toks_reference:
+        raise AssertionError(
+            f"noiseless analog/reference token mismatch at batch={batch}"
+        )
+    # Float host is a tolerance reference only: INT8 attention may flip
+    # greedy ties, so agreement is reported, not gated at 1.0.
+    toks_host = _toks(engines["host"])
+    host_agree = sum(a == h for a, h in zip(toks_analog, toks_host)) / batch
+
+    host_s = _time_call(
+        lambda: engines["host"].serve(prompts, max_new_tokens=new_tokens), reps
+    )
+    analog_s = _time_call(
+        lambda: engines["analog"].serve(prompts, max_new_tokens=new_tokens), reps
+    )
+    tokens = batch * new_tokens
+    return {
+        "batch": batch,
+        "new_tokens": new_tokens,
+        "host_tok_s": round(tokens / host_s, 1),
+        "analog_tok_s": round(tokens / analog_s, 1),
+        "analog_over_host": round(analog_s / host_s, 3),
+        "reference_agreement": 1.0,
+        "host_agreement": round(host_agree, 3),
+    }
+
+
+@experiment(
+    "bench_attention",
+    smoke={"attention_batches": (1, 2), "attention_new_tokens": 6, "reps": 1},
+)
+def bench_attention(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    """Host vs analog (dynamic-operand crossbar) attention serving.
+
+    Serves identical ragged prompt sets through three engines deployed
+    from the same model and plans — float host attention, analog
+    attention on MLC dynamic operands (``deploy(attention="analog")``)
+    and the host engine running
+    :class:`~repro.pim.ReferenceQuantizedAttention` — across a batch
+    grid, measuring tokens/s and token agreement.  Two checks ride along
+    in-study and fail the run: noiseless analog tokens must be bitwise
+    identical to the quantized reference at every point, and the
+    executor's KV-write wear counters must grow strictly monotonically
+    across the grid (every KV write accounted).  The payload lands in
+    ``BENCH_attention.json`` (written by ``benchmarks/bench_attention.py``
+    and the CI smoke job), which gates on both plus the KV-write wear per
+    1k tokens staying finite and positive.
+    """
+    batches = tuple(params.get("attention_batches", ATTENTION_BATCHES))
+    new_tokens = int(params.get("attention_new_tokens", 12))
+    reps = int(params.get("reps", 2))
+    max_batch = max(batches)
+
+    engines = {
+        "host": _attention_engine("host", params, seed, max_batch),
+        "analog": _attention_engine("analog", params, seed, max_batch),
+        "reference": _attention_reference_engine(params, seed, max_batch),
+    }
+    model = engines["analog"].model
+    vocab = model.config.vocab_size
+
+    rng = np.random.default_rng(seed + 29)
+    executor = engines["analog"].attention_executor
+    grid, snapshots = [], []
+    for batch in batches:
+        grid.append(
+            _attention_point(engines, batch, new_tokens, reps, rng, vocab)
+        )
+        snapshots.append(_wear_snapshot(executor))
+
+    # Wear monotonicity: every grid point serves more tokens through the
+    # same executor, so each counter must strictly increase point over
+    # point (a stalled counter means a KV write went unaccounted).
+    for prev, cur in zip(snapshots, snapshots[1:]):
+        for key in ("kv_tokens_written", "dynamic_writes", "dynamic_write_pulses"):
+            if cur[key] <= prev[key]:
+                raise AssertionError(
+                    f"wear counter {key} did not grow across the batch grid: "
+                    f"{prev[key]} -> {cur[key]}"
+                )
+        if cur["max_wear_fraction"] < prev["max_wear_fraction"]:
+            raise AssertionError("max_wear_fraction regressed across the batch grid")
+
+    final = snapshots[-1]
+    kv_tokens = final["kv_tokens_written"]
+    wear_per_1k = {
+        "kv_tokens_written": kv_tokens,
+        "write_pulses_per_token": round(
+            final["dynamic_write_pulses"] / kv_tokens, 2
+        ),
+        "max_wear_fraction_per_1k_tokens": float(
+            final["max_wear_fraction"] / kv_tokens * 1e3
+        ),
+    }
+
+    return {
+        "model": {
+            "d_model": model.config.d_model,
+            "num_layers": model.config.num_layers,
+            "num_heads": model.config.num_heads,
+            "max_seq_len": model.config.max_seq_len,
+            "vocab_size": model.config.vocab_size,
+        },
+        "grid": grid,
+        "wear": wear_per_1k,
+        "endurance": engines["analog"].endurance_report()["attention"],
+        "gate": {
+            "noiseless_reference_agreement": 1.0,
+            "min_host_agreement": min(row["host_agreement"] for row in grid),
+            "wear_monotone": True,
+            "wear_snapshots": snapshots,
+        },
     }

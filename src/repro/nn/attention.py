@@ -16,7 +16,7 @@ import numpy as np
 from repro.nn.modules import Dropout, Linear, Module
 from repro.nn.tensor import Tensor
 
-__all__ = ["MultiHeadAttention", "causal_mask"]
+__all__ = ["AnalogAttention", "MultiHeadAttention", "causal_mask"]
 
 
 def causal_mask(seq_len: int, kv_len: int | None = None) -> np.ndarray:
@@ -145,3 +145,125 @@ class MultiHeadAttention(Module):
     def static_linears(self) -> dict[str, Linear]:
         """The four static-weight projections HyFlexPIM maps to analog PIM."""
         return {"w_q": self.w_q, "w_k": self.w_k, "w_v": self.w_v, "w_proj": self.w_proj}
+
+
+class AnalogAttention(MultiHeadAttention):
+    """Attention whose dynamic products execute as crossbar GEMVs.
+
+    Extends :class:`MultiHeadAttention` with an *analog* incremental-decode
+    path: when the per-layer cache slot exposes crossbar dynamic operands
+    (a :class:`~repro.pim.kv_cache.CrossbarKVCache` slot), ``Q·Kᵀ`` runs as
+    a GEMV against the bitline-grown key operand and ``S·V`` against the
+    wordline-grown value operand — per row, per head, with INT8 activation
+    quantization and host-side dequantization by the cached per-token
+    scales.  Softmax (and masking) stays on the host, mirroring the
+    paper's SFU placement.  Every other call shape — no cache, a plain
+    :class:`~repro.nn.kv_cache.KVCache`, calibration forwards, non-causal
+    use — falls back to the inherited host path, so the module is a
+    drop-in replacement installed by
+    ``ServingEngine.deploy(attention="analog")``.
+
+    This module never imports the PIM/RRAM layers: the executor and the
+    operand handles are duck-typed, injected through the constructor and
+    the cache slot respectively.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        causal: bool = False,
+        rng: np.random.Generator | None = None,
+        executor=None,
+    ) -> None:
+        super().__init__(d_model, num_heads, dropout=dropout, causal=causal, rng=rng)
+        self.executor = executor
+
+    @classmethod
+    def from_host(cls, host: MultiHeadAttention, executor) -> "AnalogAttention":
+        """Wrap an existing attention module without touching its weights.
+
+        Adopts the host's four projection modules *by reference* (they may
+        already be :class:`~repro.pim.hybrid.HybridLinear` replacements)
+        plus its dropout, so swapping a block's attention for the analog
+        variant changes only where the dynamic products execute.
+        """
+        attn = cls(
+            host.d_model,
+            host.num_heads,
+            causal=host.causal,
+            executor=executor,
+        )
+        attn.w_q = host.w_q
+        attn.w_k = host.w_k
+        attn.w_v = host.w_v
+        attn.w_proj = host.w_proj
+        attn.attn_dropout = host.attn_dropout
+        return attn
+
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: np.ndarray | None = None,
+        cache=None,
+    ) -> Tensor:
+        """Host-path attention, or crossbar GEMVs when the cache is analog.
+
+        The analog path is selected only for causal attention over a cache
+        slot exposing the analog handle bundle.  ``attention_mask`` is
+        ignored there: the per-row committed lengths give the exact
+        combined causal + key-validity mask (the same structure the host
+        path derives from ``key_padding_mask``), built per row instead.
+        The path is inference-only — attention-probability dropout is not
+        applied (the serving engine always decodes in eval mode, where it
+        is the identity on the host path too).
+        """
+        handles = getattr(cache, "analog", None) if cache is not None else None
+        if handles is None or not self.causal:
+            return super().forward(x, attention_mask=attention_mask, cache=cache)
+
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.w_q(x), batch, seq)
+        k = self._split_heads(self.w_k(x), batch, seq)
+        v = self._split_heads(self.w_v(x), batch, seq)
+        # Committed per-row lengths (append does not advance them).
+        lengths = np.asarray(handles.lengths, dtype=np.int64).copy()
+        cache.append(k.data, v.data)  # host mirror + operand columns/rows
+
+        ex = handles.executor
+        inv_sqrt_d = 1.0 / math.sqrt(self.d_head)
+        context = np.zeros((batch, self.num_heads, seq, self.d_head))
+        for r in range(batch):
+            total = int(lengths[r]) + seq
+            # Query t of this pass may attend keys j <= lengths[r] + t: the
+            # causal and ragged-validity constraints collapse into one
+            # per-row comparison against the committed length.
+            blocked = (
+                np.arange(total)[None, :]
+                > (int(lengths[r]) + np.arange(seq))[:, None]
+            )
+            for h in range(self.num_heads):
+                q_codes, q_scale = ex.quantize_block(q.data[r, h])
+                scores_int = handles.k_op(r, h).gemv(
+                    q_codes, input_bits=ex.activation_bits
+                )
+                k_scales = handles.k_scales(r, h)[:total]
+                scores = (
+                    np.asarray(scores_int, dtype=np.float64)
+                    * (q_scale * inv_sqrt_d)
+                    * k_scales[None, :]
+                )
+                scores[blocked] = -1e9
+                shifted = np.exp(scores - scores.max(axis=-1, keepdims=True))
+                probs = shifted / shifted.sum(axis=-1, keepdims=True)
+                # Fold the per-token value scales into the streamed operand
+                # so one block scale dequantizes the AV product exactly.
+                weighted = probs * handles.v_scales(r, h)[:total][None, :]
+                p_codes, p_scale = ex.quantize_block(weighted)
+                ctx_int = handles.v_op(r, h).gemv(
+                    p_codes, input_bits=ex.activation_bits
+                )
+                context[r, h] = np.asarray(ctx_int, dtype=np.float64) * p_scale
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+        return self.w_proj(Tensor(merged.astype(x.data.dtype)))

@@ -274,8 +274,15 @@ class DecoderLM(_TransformerBase):
 
     def new_cache(self, batch: int, capacity: int | None = None) -> KVCache:
         """Allocate a KV cache sized for this model (``capacity`` defaults to
-        ``max_seq_len``)."""
-        return KVCache(
+        ``max_seq_len``).
+
+        An installed ``kv_cache_factory`` attribute (set by e.g.
+        ``ServingEngine.deploy(attention="analog")``) takes over
+        allocation with the same geometry, so pooled caches come out
+        crossbar-backed without scheduler changes.
+        """
+        factory = getattr(self, "kv_cache_factory", None) or KVCache
+        return factory(
             num_layers=self.config.num_layers,
             batch=batch,
             num_heads=self.config.num_heads,

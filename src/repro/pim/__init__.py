@@ -1,7 +1,9 @@
 """Functional PIM simulation: modules, hybrid execution, PU and chip."""
 
 from repro.pim.analog_module import AnalogModuleConfig, AnalogPimModule
+from repro.pim.attention import CrossbarAttentionExecutor, ReferenceQuantizedAttention
 from repro.pim.chip import ChipConfig, HyFlexPimChip, LayerAssignment
+from repro.pim.kv_cache import CrossbarKVCache
 from repro.pim.digital_module import (
     DigitalModuleConfig,
     DigitalPimModule,
@@ -40,6 +42,8 @@ __all__ = [
     "COLUMNS_PER_NOR",
     "CYCLES_PER_ROW",
     "ChipConfig",
+    "CrossbarAttentionExecutor",
+    "CrossbarKVCache",
     "DigitalModuleConfig",
     "DigitalPimModule",
     "DigitalPimStats",
@@ -52,6 +56,7 @@ __all__ = [
     "PlacementRecord",
     "ProcessingUnit",
     "ProcessingUnitConfig",
+    "ReferenceQuantizedAttention",
     "SfuConfig",
     "SfuStats",
     "SpecialFunctionUnit",

@@ -580,6 +580,38 @@ class HybridLinear(Module):
                 if mapped is not None:
                     mapped.stats = GemvStats()
 
+    def wear_report(self) -> dict:
+        """Per-member write-endurance consumption of this layer's tiles.
+
+        One entry per hybrid-split member (``slc_a``/``mlc_a``/``slc_b``/
+        ``mlc_b``) with the tile count and the worst wear fraction as read
+        from the backend's :class:`~repro.rram.endurance.WearLedger` — the
+        per-layer view :meth:`repro.serve.engine.ServingEngine.endurance_report`
+        aggregates.  Empty members (fast mode, or all-SLC/all-MLC layers)
+        are omitted; the top-level ``max_wear_fraction`` is 0.0 then.
+        """
+        members: dict[str, dict] = {}
+        for split in self._active_splits():
+            mapped_members = (
+                ("slc_a", split.slc_a),
+                ("mlc_a", split.mlc_a),
+                ("slc_b", split.slc_b),
+                ("mlc_b", split.mlc_b),
+            )
+            for name, mapped in mapped_members:
+                if mapped is None:
+                    continue
+                fraction = float(mapped.backend.wear_fraction(mapped._programmed._tile))
+                entry = members.setdefault(name, {"tiles": 0, "max_wear_fraction": 0.0})
+                entry["tiles"] += 1
+                entry["max_wear_fraction"] = max(entry["max_wear_fraction"], fraction)
+        return {
+            "members": members,
+            "max_wear_fraction": max(
+                (entry["max_wear_fraction"] for entry in members.values()), default=0.0
+            ),
+        }
+
     # ------------------------------------------------------------------
     # Online recalibration hooks (drift detection + re-programming)
     # ------------------------------------------------------------------

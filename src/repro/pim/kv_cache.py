@@ -1,0 +1,267 @@
+"""Crossbar-resident KV cache: K/V rows written into MLC tiles per token.
+
+:class:`CrossbarKVCache` subclasses :class:`~repro.nn.kv_cache.KVCache`
+and mirrors every cached token into analog crossbar arrays: each
+``(layer, row, head)`` owns two :class:`~repro.rram.dynamic.DynamicOperand`
+tiles — a *bitline-grown* key operand (queries stream over the wordlines,
+one appended column per token) and a *wordline-grown* value operand
+(attention probabilities stream over the wordlines, one appended row per
+token).  Appended tokens are quantized per-token to signed INT8 with the
+dequantization scales kept host-side, so the analog attention path
+(:class:`~repro.nn.attention.AnalogAttention`) can execute ``Q·Kᵀ`` and
+``S·V`` as crossbar GEMVs and rescale exactly.
+
+The host-side buffers of the parent class are kept fully coherent (every
+append also lands in them), which preserves the complete row-view /
+compaction contract the continuous scheduler depends on:
+
+- :meth:`rows_view` hands out views that share the *operand store* and
+  translate local row indices through a ``_row0`` offset;
+- :meth:`copy_row` (swap-with-last compaction) *swaps* the src/dst operand
+  tiles — a logical row-slot remap, free of write pulses, matching how a
+  row-slot indirection table would relocate a stream on hardware.  The
+  analog content of ``src`` is undefined until the scheduler's immediately
+  following :meth:`clear_row`;
+- :meth:`clear_row`, :meth:`set_lengths` and :meth:`reset` truncate the
+  affected operands logically (no cell writes); recycled rows are
+  overwritten by later appends and accounted as re-programs in
+  :class:`~repro.rram.crossbar.GemvStats`.
+
+Every cell write flows through the backend's partial-region primitive and
+is therefore recorded in the :class:`~repro.rram.endurance.WearLedger`'s
+dynamic channel; KV-write interconnect traffic is reported to the
+executor (and from there to the :class:`~repro.dist.DeviceMesh` ledger)
+per append.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.kv_cache import KVCache, _LayerSlot
+
+__all__ = ["CrossbarKVCache"]
+
+
+class _OperandStore:
+    """Shared analog state behind a :class:`CrossbarKVCache` and its views.
+
+    Holds the per-``(layer, row, head)`` key/value operands, the
+    host-side per-token dequantization scales, and the executor that
+    quantizes appends and accounts traffic.  Views created by
+    :meth:`CrossbarKVCache.rows_view` alias this object and translate
+    local rows through their ``_row0`` offset.
+    """
+
+    __slots__ = ("executor", "k_ops", "v_ops", "k_scales", "v_scales")
+
+    def __init__(self, executor, num_layers, batch, num_heads, head_dim, capacity):
+        self.executor = executor
+        self.k_ops = [
+            [
+                [executor.new_operand(capacity, head_dim, grow="bitlines") for _ in range(num_heads)]
+                for _ in range(batch)
+            ]
+            for _ in range(num_layers)
+        ]
+        self.v_ops = [
+            [
+                [executor.new_operand(capacity, head_dim, grow="wordlines") for _ in range(num_heads)]
+                for _ in range(batch)
+            ]
+            for _ in range(num_layers)
+        ]
+        self.k_scales = [np.zeros((batch, num_heads, capacity)) for _ in range(num_layers)]
+        self.v_scales = [np.zeros((batch, num_heads, capacity)) for _ in range(num_layers)]
+
+
+class _CrossbarLayerSlot(_LayerSlot):
+    """Per-layer cache handle that additionally exposes the analog operands.
+
+    The extra surface (``analog``/``executor``/``lengths``/``k_op``...)
+    is what :class:`~repro.nn.attention.AnalogAttention` duck-checks to
+    select the crossbar execution path; plain hosts see only the
+    inherited :class:`~repro.nn.kv_cache._LayerSlot` contract.
+    """
+
+    __slots__ = ()
+
+    @property
+    def analog(self) -> "_CrossbarLayerSlot":
+        """Marker + handle bundle for the analog attention path."""
+        return self
+
+    @property
+    def executor(self):
+        """The deploy-wide crossbar attention executor."""
+        return self.cache._store.executor
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Committed per-row valid lengths (this view's rows)."""
+        return self.cache.lengths
+
+    def k_op(self, row: int, head: int):
+        """Key operand (bitline-grown) for a local row/head."""
+        return self.cache._store.k_ops[self.index][self.cache._row0 + row][head]
+
+    def v_op(self, row: int, head: int):
+        """Value operand (wordline-grown) for a local row/head."""
+        return self.cache._store.v_ops[self.index][self.cache._row0 + row][head]
+
+    def k_scales(self, row: int, head: int) -> np.ndarray:
+        """Per-token key dequantization scales for a local row/head."""
+        return self.cache._store.k_scales[self.index][self.cache._row0 + row, head]
+
+    def v_scales(self, row: int, head: int) -> np.ndarray:
+        """Per-token value dequantization scales for a local row/head."""
+        return self.cache._store.v_scales[self.index][self.cache._row0 + row, head]
+
+
+class CrossbarKVCache(KVCache):
+    """KV cache whose tokens are mirrored into crossbar dynamic operands.
+
+    Construct through
+    :meth:`~repro.pim.attention.CrossbarAttentionExecutor.make_cache` —
+    the executor supplies cell type, noise, kernel policy, backend, the
+    shared :class:`~repro.rram.crossbar.GemvStats` sink and interconnect
+    accounting.  Fully substitutable for a plain ``KVCache``: the host
+    mirror buffers stay coherent, so masks, compaction and host-path
+    attention all behave identically.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        batch: int,
+        num_heads: int,
+        head_dim: int,
+        capacity: int,
+        dtype=None,
+        executor=None,
+    ) -> None:
+        if executor is None:
+            raise ValueError("CrossbarKVCache requires an executor (see make_cache)")
+        super().__init__(num_layers, batch, num_heads, head_dim, capacity, dtype)
+        self._store = _OperandStore(executor, num_layers, batch, num_heads, head_dim, capacity)
+        self._row0 = 0
+
+    # ------------------------------------------------------------------
+    def layer(self, index: int) -> _CrossbarLayerSlot:
+        """Per-layer handle carrying both host and analog surfaces."""
+        return _CrossbarLayerSlot(self, index)
+
+    def rows_view(self, start: int, stop: int) -> "CrossbarKVCache":
+        """Zero-copy row view sharing host buffers *and* the operand store."""
+        if not (0 <= start < stop <= self.batch):
+            raise ValueError(
+                f"rows_view [{start}, {stop}) out of range for batch {self.batch}"
+            )
+        view = object.__new__(type(self))
+        view.num_layers = self.num_layers
+        view.batch = stop - start
+        view.num_heads = self.num_heads
+        view.head_dim = self.head_dim
+        view.capacity = self.capacity
+        view.keys = [k[start:stop] for k in self.keys]
+        view.values = [v[start:stop] for v in self.values]
+        view.lengths = self.lengths[start:stop]
+        view._store = self._store
+        view._row0 = self._row0 + start
+        return view
+
+    # ------------------------------------------------------------------
+    def append(self, layer: int, k_new: np.ndarray, v_new: np.ndarray):
+        """Append to the host mirror, then write the tokens into the operands.
+
+        Each row/head's ``t`` new tokens are quantized per-token to signed
+        INT8, appended as ``t`` columns of the key operand and ``t`` rows
+        of the value operand (both at the row's committed length — the
+        same positions the host mirror writes), and their dequantization
+        scales stored.  Write wear and initial-vs-reprogram cell counts
+        accrue to the executor's shared stats; KV-write bytes are reported
+        for interconnect accounting.
+        """
+        start_lengths = self.lengths.copy()
+        out = super().append(layer, k_new, v_new)
+        store = self._store
+        ex = store.executor
+        t = k_new.shape[2]
+        for r in range(self.batch):
+            g = self._row0 + r
+            pos = int(start_lengths[r])
+            for h in range(self.num_heads):
+                k_codes, k_s = ex.quantize_rows(np.asarray(k_new[r, h], dtype=np.float64))
+                v_codes, v_s = ex.quantize_rows(np.asarray(v_new[r, h], dtype=np.float64))
+                store.k_ops[layer][g][h].append(k_codes)
+                store.v_ops[layer][g][h].append(v_codes)
+                store.k_scales[layer][g, h, pos : pos + t] = k_s
+                store.v_scales[layer][g, h, pos : pos + t] = v_s
+        ex.record_kv_write(layer, self.batch, t, self.head_dim, self.num_heads)
+        return out
+
+    # ------------------------------------------------------------------
+    # Row-level operations (continuous batching)
+    # ------------------------------------------------------------------
+    def copy_row(self, src: int, dst: int) -> None:
+        """Relocate ``src``'s prefix into ``dst``; analog side swaps tiles.
+
+        The operand swap is a logical row-slot remap (no write pulses) —
+        after it, ``src``'s analog content is undefined until the
+        scheduler's immediately following :meth:`clear_row`.
+        """
+        if not (0 <= src < self.batch and 0 <= dst < self.batch):
+            raise ValueError(f"rows ({src}, {dst}) out of range for batch {self.batch}")
+        if src == dst:
+            return
+        super().copy_row(src, dst)
+        store = self._store
+        gs, gd = self._row0 + src, self._row0 + dst
+        for layer in range(self.num_layers):
+            store.k_ops[layer][gs], store.k_ops[layer][gd] = (
+                store.k_ops[layer][gd],
+                store.k_ops[layer][gs],
+            )
+            store.v_ops[layer][gs], store.v_ops[layer][gd] = (
+                store.v_ops[layer][gd],
+                store.v_ops[layer][gs],
+            )
+            store.k_scales[layer][[gs, gd]] = store.k_scales[layer][[gd, gs]]
+            store.v_scales[layer][[gs, gd]] = store.v_scales[layer][[gd, gs]]
+
+    def clear_row(self, row: int) -> None:
+        """Retire one row: host prefix invalidated, operands truncated."""
+        super().clear_row(row)
+        self._truncate_row(row, 0)
+
+    def set_lengths(self, lengths: np.ndarray) -> None:
+        """Override per-row lengths and truncate operands to match.
+
+        Shrinking (ragged right-padded prefill) logically drops the pad
+        positions' K/V from the operands; later appends overwrite them
+        (accounted as re-programs).
+        """
+        super().set_lengths(lengths)
+        for r in range(self.batch):
+            self._truncate_row(r, int(self.lengths[r]))
+
+    def reset(self) -> None:
+        """Forget all cached tokens of this view's rows, operands included."""
+        super().reset()
+        for r in range(self.batch):
+            self._truncate_row(r, 0)
+
+    def _truncate_row(self, row: int, length: int) -> None:
+        g = self._row0 + row
+        store = self._store
+        for layer in range(self.num_layers):
+            for h in range(self.num_heads):
+                store.k_ops[layer][g][h].truncate(length)
+                store.v_ops[layer][g][h].truncate(length)
+
+    def __repr__(self) -> str:
+        return (
+            f"CrossbarKVCache(layers={self.num_layers}, batch={self.batch}, "
+            f"heads={self.num_heads}, capacity={self.capacity}, "
+            f"lengths={self.lengths.tolist()}, row0={self._row0})"
+        )

@@ -76,6 +76,10 @@ class ProgrammedTile:
     base_planes: np.ndarray | None = None
     programmed_at_s: float = 0.0
     program_count: int = 1
+    #: Tile-local monotonic counter bumped by every partial region write
+    #: (dynamic operands); composes with the backend-wide ``epoch`` in
+    #: plane-cache keys without invalidating *other* tiles' caches.
+    write_epoch: int = 0
     # Fault state (FaultySimBackend only).
     stuck_off: np.ndarray | None = None
     stuck_on: np.ndarray | None = None
@@ -194,6 +198,46 @@ class CrossbarBackend(abc.ABC):
             tile.tile_id, tile.num_cells, tile.cell.write_pulses, reprogram=True
         )
 
+    def program_region(
+        self,
+        tile: ProgrammedTile,
+        row_slice: slice,
+        col_slice: slice,
+        levels: np.ndarray,
+    ) -> None:
+        """Write ``levels`` into a sub-region of ``tile`` in place.
+
+        The dynamic-operand primitive: unlike :meth:`reprogram`, only the
+        ``[row_slice, col_slice, :]`` region of the tile's cells is
+        re-written (an incremental row append costs only the appended
+        cells' write pulses), the tile's drift reference time and program
+        count are untouched, and the *backend-wide* epoch does not move —
+        every other tile's cached planes stay valid.  The write bumps the
+        tile-local ``write_epoch`` (readers key their caches on it),
+        applies the tile's frozen programming-noise model to the new cells
+        only, and records ``levels.size x cell.write_pulses`` in the
+        ledger's dynamic-write channel.
+        """
+        if levels.ndim != 3:
+            raise ValueError(f"levels must be 3-D (rows, cols, slices), got {levels.ndim}-D")
+        region = tile.ideal_levels[row_slice, col_slice, :]
+        if region.shape != levels.shape:
+            raise ValueError(
+                f"region shape {region.shape} does not match levels shape {levels.shape}"
+            )
+        tile.cell.validate_levels(levels)
+        tile.ideal_levels[row_slice, col_slice, :] = levels
+        if tile.base_planes is not None:
+            tile.base_planes[row_slice, col_slice, :] = apply_multiplicative_noise(
+                levels.astype(np.float64), tile.noise_sigma, tile.rng
+            ).astype(tile.storage_dtype)
+        tile.write_epoch += 1
+        tile._cache = None
+        tile._cache_epoch = -1
+        self.ledger.record_region(
+            tile.tile_id, int(levels.size), tile.cell.write_pulses
+        )
+
     # -- reads --------------------------------------------------------------
     @abc.abstractmethod
     def planes(self, tile: ProgrammedTile) -> np.ndarray:
@@ -238,6 +282,7 @@ class CrossbarBackend(abc.ABC):
             "cells": int(sum(t.num_cells for t in self._tiles)),
             "programs": self.ledger.programs,
             "reprograms": self.ledger.reprograms,
+            "dynamic_writes": self.ledger.dynamic_writes,
             "total_write_pulses": self.ledger.total_write_pulses,
             "max_wear_fraction": max(wear, default=0.0),
             "mean_wear_fraction": float(np.mean(wear)) if wear else 0.0,

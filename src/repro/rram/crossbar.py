@@ -136,9 +136,15 @@ class GemvStats:
 
     All fields are monotone counters; ``merge`` adds another instance in,
     so per-shard / per-layer stats aggregate without double counting.
-    ``cells_reprogrammed`` counts cells re-written by online recalibration
-    (post-deployment writes), separately from the initial
-    ``cells_programmed``.
+
+    Write-side counters are symmetric: ``cells_initial_programmed`` counts
+    cells written for the *first* time after deployment (a dynamic
+    operand's fresh row appends, a mapped matrix's construction-time
+    program), while ``cells_reprogrammed`` counts cells *re*-written over
+    previously-programmed state (online recalibration, a dynamic operand
+    overwriting recycled rows).  ``cells_programmed`` is the read-side
+    occupancy counter — cells *touched* per GEMV — and is unrelated to
+    write events.
     """
 
     adc_conversions: int = 0
@@ -147,6 +153,7 @@ class GemvStats:
     cells_programmed: int = 0
     saturated_conversions: int = 0
     input_cycles: int = 0
+    cells_initial_programmed: int = 0
     cells_reprogrammed: int = 0
     #: Dispatch-shape counters (``compare=False``): how the work reached the
     #: arrays, not what the arrays did — per-row and fused dispatch of the
@@ -165,6 +172,7 @@ class GemvStats:
         self.cells_programmed += other.cells_programmed
         self.saturated_conversions += other.saturated_conversions
         self.input_cycles += other.input_cycles
+        self.cells_initial_programmed += other.cells_initial_programmed
         self.cells_reprogrammed += other.cells_reprogrammed
         self.planes_packed += other.planes_packed
         self.pack_reuses += other.pack_reuses

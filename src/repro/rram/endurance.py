@@ -78,23 +78,31 @@ class WearLedger:
     A :class:`~repro.rram.backend.CrossbarBackend` records every write it
     performs here: initial programming and re-programming of weight tiles
     (each write event costs ``cell.write_pulses`` verify-program pulses per
-    cell) plus background dynamic-data write cycles applied via the
+    cell), partial *region* writes issued by dynamic operands (runtime
+    tensors such as crossbar-resident KV caches, appended a few rows at a
+    time), plus background dynamic-data write cycles applied via the
     backend's ``advance(writes=...)`` clock.  The ledger is the single
     source of truth the wear model, the health reports and the endurance
     round-trip tests read from.
 
     Invariants: ``programs`` counts first-time programs, ``reprograms``
-    re-writes; ``pulses_per_cell[tile_id]`` is the cumulative per-cell
-    pulse count of that tile's write events; ``total_write_pulses`` equals
-    ``sum(pulses_per_cell[t] * cells[t])`` over all tiles.
+    re-writes, ``dynamic_writes`` partial region writes;
+    ``pulses_per_cell[tile_id]`` is the cumulative per-cell pulse count of
+    that tile's *whole-tile* write events; ``dynamic_write_pulses[tile_id]``
+    is the cumulative ``cells_written x pulses`` total of that tile's
+    region writes (spread across the tile under wear levelling);
+    ``total_write_pulses`` equals ``sum(pulses_per_cell[t] * cells[t])``
+    plus ``sum(dynamic_write_pulses[t])`` over all tiles.
     """
 
     endurance_cycles: float = RramDeviceParams().endurance_cycles
     programs: int = 0
     reprograms: int = 0
+    dynamic_writes: int = 0
     background_cycles: float = 0.0
     pulses_per_cell: dict[int, int] = field(default_factory=dict)
     cells: dict[int, int] = field(default_factory=dict)
+    dynamic_write_pulses: dict[int, int] = field(default_factory=dict)
 
     def record_program(
         self, tile_id: int, num_cells: int, pulses: int, reprogram: bool = False
@@ -114,6 +122,24 @@ class WearLedger:
         self.pulses_per_cell[tile_id] = self.pulses_per_cell.get(tile_id, 0) + pulses
         self.cells[tile_id] = num_cells
 
+    def record_region(self, tile_id: int, cells_written: int, pulses: int) -> None:
+        """Record one partial region write of ``cells_written`` cells.
+
+        Dynamic operands (crossbar-resident KV caches, streamed MoE
+        experts) append a few rows at a time instead of re-writing whole
+        tiles; each appended cell costs the cell type's ``pulses``
+        verify-program pulses.  Region writes accumulate in a dedicated
+        per-tile channel so runtime write wear stays separable from
+        deploy-time programming.  Raises ``ValueError`` on non-positive
+        sizes.
+        """
+        if cells_written <= 0 or pulses <= 0:
+            raise ValueError("cells_written and pulses must be positive")
+        self.dynamic_writes += 1
+        self.dynamic_write_pulses[tile_id] = (
+            self.dynamic_write_pulses.get(tile_id, 0) + cells_written * pulses
+        )
+
     def record_background(self, cycles: float) -> None:
         """Add ``cycles`` background write cycles per cell (dynamic traffic)."""
         if cycles < 0:
@@ -122,30 +148,39 @@ class WearLedger:
 
     @property
     def total_write_pulses(self) -> int:
-        """Total write pulses issued across all tiles (program + re-program)."""
-        return sum(
+        """Total write pulses across all tiles (program + re-program + region)."""
+        whole_tile = sum(
             self.pulses_per_cell[tile_id] * self.cells[tile_id]
             for tile_id in self.pulses_per_cell
         )
+        return whole_tile + sum(self.dynamic_write_pulses.values())
 
     def wear_fraction(self, tile_id: int) -> float:
         """Fraction of ``tile_id``'s per-cell endurance consumed so far.
 
-        Counts the tile's own write pulses plus the backend-wide background
-        cycles (uniform wear levelling); 0.0 for unknown tiles.
+        Counts the tile's own whole-tile write pulses, its region-write
+        pulses spread uniformly over the tile's cells (wear levelling —
+        dynamic operands rotate appended rows across the physical array),
+        and the backend-wide background cycles; 0.0 for unknown tiles.
         """
         per_cell = self.pulses_per_cell.get(tile_id, 0) + self.background_cycles
+        dynamic = self.dynamic_write_pulses.get(tile_id, 0)
+        if dynamic:
+            per_cell += dynamic / max(1, self.cells.get(tile_id, 1))
         return per_cell / self.endurance_cycles
 
     def report(self) -> dict:
         """JSON-friendly snapshot of the ledger's totals."""
+        tracked = set(self.pulses_per_cell) | set(self.dynamic_write_pulses)
         return {
             "programs": self.programs,
             "reprograms": self.reprograms,
+            "dynamic_writes": self.dynamic_writes,
             "tiles": len(self.cells),
             "total_write_pulses": self.total_write_pulses,
+            "dynamic_write_pulses": int(sum(self.dynamic_write_pulses.values())),
             "background_cycles": self.background_cycles,
             "max_wear_fraction": max(
-                (self.wear_fraction(t) for t in self.pulses_per_cell), default=0.0
+                (self.wear_fraction(t) for t in tracked), default=0.0
             ),
         }

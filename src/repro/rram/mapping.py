@@ -167,6 +167,7 @@ class MappedMatrix:
             backend=self.backend,
         )
         self.backend = self._programmed.backend
+        self.stats.cells_initial_programmed += self._programmed._tile.num_cells
         self.write_count = 1
 
     @property

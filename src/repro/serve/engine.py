@@ -359,6 +359,10 @@ class ServingEngine:
         for name, module in model.named_modules():
             if isinstance(module, HybridLinear):
                 self._hybrid_layers[name] = module
+        # Analog-attention deployment context (set by deploy(attention=
+        # "analog")): the CrossbarAttentionExecutor behind the model's
+        # AnalogAttention modules and crossbar-backed KV caches.
+        self._attention_executor = None
         # Online recalibration (drift probes + recovery) — see
         # :class:`RecalibrationPolicy`.  Calibration prompts are retained so
         # recovery can re-freeze activation scales the same way deploy did.
@@ -399,6 +403,7 @@ class ServingEngine:
         tensor_parallel: int = 1,
         shard_parallel: bool = False,
         backend=None,
+        attention: str = "host",
         **engine_kwargs,
     ) -> "ServingEngine":
         """Attach hybrid SLC/MLC layers to ``model`` and wrap it in an engine.
@@ -425,9 +430,24 @@ class ServingEngine:
         :class:`RecalibrationPolicy` via ``recalibration=`` to enable
         online drift probing and recovery; the calibration prompts are
         retained on the engine so recovery can re-freeze activation scales.
+
+        ``attention`` selects where the dynamic attention products run:
+        ``"host"`` (default) keeps ``Q·Kᵀ``/``S·V`` as host matmuls;
+        ``"analog"`` swaps every block's attention for an
+        :class:`~repro.nn.attention.AnalogAttention` executing them as
+        crossbar GEMVs against per-token-written KV dynamic operands
+        (:class:`~repro.pim.attention.CrossbarAttentionExecutor`), and
+        points the model's KV-cache factory at crossbar-backed caches so
+        the continuous scheduler is unchanged.  With a ``mesh``, attention
+        heads are placed over the plan's chips and every KV write is
+        charged to the interconnect ledger.
         """
         import copy
 
+        if attention not in ("host", "analog"):
+            raise ValueError(
+                f'attention must be "host" or "analog", got {attention!r}'
+            )
         deployed = copy.deepcopy(model)
         attached = attach_hybrid_layers(
             deployed, plans, noise=noise, mode=mode, seed=seed, policy=policy,
@@ -460,7 +480,38 @@ class ServingEngine:
             if mesh is not None:
                 mesh.reset_traffic()
             engine_kwargs.setdefault("calibration_prompts", prompts)
-        return cls(deployed, **engine_kwargs)
+        executor = None
+        if attention == "analog":
+            from repro.nn.attention import AnalogAttention
+            from repro.pim.attention import CrossbarAttentionExecutor
+            from repro.rram import DEFAULT_NOISE, MLC2
+
+            spec = noise if noise is not None else DEFAULT_NOISE
+            placement = None
+            if mesh is not None:
+                from repro.dist import place_attention_heads
+
+                placement = place_attention_heads(
+                    engine_kwargs.get("shard_plan") or mesh,
+                    deployed.config.num_layers,
+                    deployed.config.num_heads,
+                )
+            executor = CrossbarAttentionExecutor(
+                cell=MLC2,
+                noise_sigma=spec.sigma(MLC2),
+                policy=policy,
+                backend=backend,
+                seed=seed,
+                mesh=mesh,
+                placement=placement,
+            )
+            for block in deployed.blocks:
+                block.attn = AnalogAttention.from_host(block.attn, executor)
+            # Pooled caches now come out crossbar-backed (same geometry).
+            deployed.kv_cache_factory = executor.make_cache
+        engine = cls(deployed, **engine_kwargs)
+        engine._attention_executor = executor
+        return engine
 
     # ------------------------------------------------------------------
     # Request lifecycle
@@ -838,6 +889,10 @@ class ServingEngine:
             backend = getattr(layer, "backend", None)
             if backend is not None and id(backend) not in seen:
                 seen[id(backend)] = backend.health_report()
+        if self._attention_executor is not None:
+            backend = self._attention_executor.backend
+            if id(backend) not in seen:
+                seen[id(backend)] = backend.health_report()
         return list(seen.values())
 
     # ------------------------------------------------------------------
@@ -855,6 +910,10 @@ class ServingEngine:
         total = GemvStats()
         for layer in self._hybrid_layers.values():
             total.merge(layer.merged_stats())
+        if self._attention_executor is not None:
+            # Dynamic-operand attention: KV writes (initial vs re-program)
+            # and the Q·Kᵀ/S·V GEMV read costs, all in the shared sink.
+            total.merge(self._attention_executor.stats)
         return total
 
     def shard_gemv_stats(self) -> list[GemvStats]:
@@ -888,7 +947,38 @@ class ServingEngine:
         report = self._projection.report()
         report["projected_tokens_per_s"] = round(self.stats.projected_tokens_per_s, 1)
         report["tokens_generated"] = self.stats.tokens_generated
+        report["endurance"] = self.endurance_report()
         return report
+
+    def endurance_report(self) -> dict:
+        """Write-endurance picture of everything this engine deployed.
+
+        Always available (unlike :meth:`hardware_report`, which needs a
+        shard plan): per-layer wear fractions from each hybrid layer's
+        :meth:`~repro.pim.hybrid.HybridLinear.wear_report`, the analog
+        attention executor's KV-operand wear summary when deployed, and
+        the deduplicated backend :meth:`health_report`\\ s (whole-chip
+        ledger view, dynamic-write channel included).
+        """
+        layers = {
+            name: layer.wear_report() for name, layer in self._hybrid_layers.items()
+        }
+        report = {
+            "layers": layers,
+            "max_layer_wear_fraction": max(
+                (entry["max_wear_fraction"] for entry in layers.values()),
+                default=0.0,
+            ),
+            "backends": self.backend_health(),
+        }
+        if self._attention_executor is not None:
+            report["attention"] = self._attention_executor.wear_report()
+        return report
+
+    @property
+    def attention_executor(self):
+        """The analog-attention executor, or None for host-attention deploys."""
+        return self._attention_executor
 
     @property
     def hybrid_layers(self) -> dict[str, HybridLinear]:

@@ -115,6 +115,43 @@ class TestEndToEnd:
         assert long > short
 
 
+class TestAnalogAttentionEnergy:
+    def test_analog_swaps_digital_categories_for_analog_stack(self, energy, bert):
+        analog = energy.attention_energy(bert, 512, attention="analog")
+        assert "attention_dot" not in analog.categories
+        assert "rram_write_digital" not in analog.categories
+        for category in ("adc", "rram_analog", "wl_drv_analog", "rram_write_analog", "sfu"):
+            assert analog.categories.get(category, 0) > 0, category
+
+    @pytest.mark.parametrize("mode", ["prefill", "decode"])
+    def test_analog_attention_is_cheaper_per_op(self, energy, bert, mode):
+        digital = energy.attention_energy(bert, 512, mode=mode).total_pj()
+        analog = energy.attention_energy(
+            bert, 512, mode=mode, attention="analog"
+        ).total_pj()
+        assert 0 < analog < digital
+
+    def test_kv_writes_are_not_amortized(self, bert):
+        """Unlike static weights, per-token KV writes ignore the
+        write-amortization corpus size."""
+        from repro.arch import HyFlexPimEnergyModel
+
+        small = HyFlexPimEnergyModel(write_amortization_inferences=10.0)
+        large = HyFlexPimEnergyModel(write_amortization_inferences=1e9)
+        a = small.analog_attention_energy(bert, 256).categories["rram_write_analog"]
+        b = large.analog_attention_energy(bert, 256).categories["rram_write_analog"]
+        assert a == b > 0
+
+    def test_digital_default_is_unchanged(self, energy, bert):
+        explicit = energy.end_to_end_energy(bert, 512, 0.05, attention="digital")
+        default = energy.end_to_end_energy(bert, 512, 0.05)
+        assert explicit.categories == default.categories
+
+    def test_rejects_unknown_attention_kind(self, energy, bert):
+        with pytest.raises(ValueError, match="attention"):
+            energy.attention_energy(bert, 128, attention="quantum")
+
+
 class TestLatency:
     def test_gemv_wave_is_900ns(self, latency):
         assert latency.gemv_wave_s() == pytest.approx(900e-9)

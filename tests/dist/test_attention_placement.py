@@ -1,0 +1,43 @@
+"""Unit tests for attention-head KV-operand placement on the mesh."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist import DeviceMesh, place_attention_heads
+
+
+class TestPlacementPolicy:
+    def test_single_chip_is_fully_colocated(self):
+        placement = place_attention_heads(DeviceMesh(), num_layers=2, num_heads=4)
+        assert placement.chips == (0,)
+        assert placement.colocated_fraction() == 1.0
+        assert all(chip == 0 for chip in placement.head_chips.values())
+
+    def test_two_chip_mesh_anchors_head_zero_and_rotates(self):
+        placement = place_attention_heads(
+            DeviceMesh(num_chips=2), num_layers=2, num_heads=4
+        )
+        for layer in range(2):
+            anchor = placement.block_chip(layer)
+            assert placement.head_chip(layer, 0) == anchor
+            assert placement.head_chip(layer, 1) == (anchor + 1) % 2
+        # Half the heads rotate away from their block's chip.
+        assert placement.colocated_fraction() == 0.5
+
+    def test_describe_is_json_friendly(self):
+        placement = place_attention_heads(
+            DeviceMesh(num_chips=2), num_layers=1, num_heads=2
+        )
+        summary = placement.describe()
+        assert summary == {
+            "heads": 2,
+            "chips": [0, 1],
+            "colocated_fraction": 0.5,
+        }
+
+    def test_rejects_empty_geometry(self):
+        with pytest.raises(ValueError, match="positive"):
+            place_attention_heads(DeviceMesh(), num_layers=0, num_heads=4)
+        with pytest.raises(ValueError, match="positive"):
+            place_attention_heads(DeviceMesh(), num_layers=1, num_heads=0)
