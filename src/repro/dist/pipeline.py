@@ -1,0 +1,253 @@
+"""Stage-pipelined block execution over the ShardPlan pipeline assignment.
+
+The mesh ledger has always *costed* PCIe pipeline handoffs between the
+chips a :class:`~repro.dist.ShardPlan` assigns transformer blocks to —
+but execution stayed sequential in-process: stage *i+1* of a decode step
+never started until stage *i* had finished the whole batch.
+:class:`PipelinedBlockExecutor` actually overlaps the stages: the decode
+batch is split into micro-batches of contiguous cache rows, and stage *i*
+of micro-batch *t* runs concurrently with stage *i−1* of micro-batch
+*t+1* on a :class:`~repro.utils.parallel.StagePipeline` of persistent
+worker threads (one per stage — the software analogue of one chip per
+pipeline stage).
+
+Bitwise equivalence with the sequential path holds by construction:
+
+- every per-row computation in the decode forward (embedding lookup,
+  LayerNorm, attention over the row's own cached prefix, FFN, LM head)
+  is independent across rows, and numpy/BLAS row-slicing is bitwise
+  stable, so running rows ``[a, b)`` alone produces exactly the rows
+  ``[a, b)`` of the full-batch forward (the same property that makes
+  continuous batching bitwise-equal to one-shot ``generate``);
+- each stage owns a disjoint set of transformer blocks and each
+  micro-batch owns a disjoint set of cache rows, so no array is ever
+  written by two workers (per-layer GemvStats sinks are touched only by
+  their stage's single thread; the shared
+  :class:`~repro.rram.kernels.PlaneCache` is content-keyed and locked).
+
+Speedups come from BLAS releasing the GIL inside each stage's matmuls;
+they require real cores — on a single-CPU host the pipeline degrades to
+interleaved sequential execution plus queue overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.kv_cache import KVCache
+from repro.utils.parallel import StagePipeline
+
+__all__ = ["PipelinedBlockExecutor"]
+
+
+class _PinnedWidthView(KVCache):
+    """A rows view that reports the *step-global* maximum length.
+
+    The attention key width of a decode step is ``max_length + 1`` — the
+    full batch uses the maximum over **all** rows, while a plain sub-view
+    would use only its own rows' maximum.  A narrower key width changes
+    the reduction lengths inside softmax/attention (numpy's unrolled
+    summations round differently per length), so even exactly-masked
+    extra columns break bitwise equality with the sequential path.
+    Pinning every micro-batch to the width the full batch would use makes
+    each row's computation identical down to the reduction trees; the
+    columns between a row's own length and the pinned width hold the same
+    buffer contents the full-batch forward reads, and the key-validity
+    mask blocks them identically.
+    """
+
+    _pinned_max: int
+
+    @property
+    def max_length(self) -> int:
+        return self._pinned_max
+
+    def key_padding_mask(self, total: int) -> np.ndarray | None:
+        # The aligned-rows `None` shortcut is only valid when these rows
+        # actually reach the pinned width; otherwise the mask row must
+        # match the corresponding row of the full-batch mask (all-False
+        # rows are bitwise-equivalent to None under masked_fill).
+        if (
+            int(self.lengths.max(initial=0)) == self._pinned_max
+            and np.all(self.lengths == self.lengths[0])
+        ):
+            return None
+        offsets = total - self._pinned_max + self.lengths
+        return np.arange(total)[None, :] >= offsets[:, None]
+
+
+def _pin_view(view: KVCache, pinned_max: int) -> _PinnedWidthView:
+    """Rebrand ``view`` as a :class:`_PinnedWidthView` (zero-copy)."""
+    pinned = object.__new__(_PinnedWidthView)
+    pinned.__dict__.update(view.__dict__)
+    pinned._pinned_max = pinned_max
+    return pinned
+
+
+def _even_stage_bounds(num_layers: int, num_stages: int) -> list[tuple[int, int]]:
+    """Split ``num_layers`` blocks into ``num_stages`` contiguous ranges."""
+    num_stages = max(1, min(num_stages, num_layers))
+    bounds = []
+    start = 0
+    for s in range(num_stages):
+        stop = ((s + 1) * num_layers) // num_stages
+        if stop > start:
+            bounds.append((start, stop))
+            start = stop
+    return bounds
+
+
+def _plan_stage_bounds(chip_of_block: dict[int, int], num_layers: int) -> list[tuple[int, int]]:
+    """Contiguous block ranges per chip, in pipeline order.
+
+    ``chip_of_block`` assigns blocks to chips monotonically (the HyFlexPIM
+    chip mapper lays the pipeline out in block order); consecutive blocks
+    on the same chip form one stage.
+    """
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for block in range(1, num_layers):
+        if chip_of_block.get(block, 0) != chip_of_block.get(block - 1, 0):
+            bounds.append((start, block))
+            start = block
+    bounds.append((start, num_layers))
+    return bounds
+
+
+class PipelinedBlockExecutor:
+    """Pipeline-parallel one-token decode over a model's transformer blocks.
+
+    Drop-in replacement for the continuous scheduler's batch decode
+    forward (installed via ``ServingEngine(pipeline=...)``): stages are
+    the contiguous block ranges of the :class:`~repro.dist.ShardPlan`'s
+    chip assignment (or an even ``num_stages``-way split when no plan is
+    given), and micro-batches are contiguous row ranges of the decode
+    batch.  :meth:`forward` matches the sequential
+    ``model.forward(feeds, cache=view).data[:, -1]`` bitwise for
+    noiseless deployments.
+
+    Parameters
+    ----------
+    model:
+        The served :class:`~repro.nn.transformer.DecoderLM`.
+    shard_plan:
+        Optional :class:`~repro.dist.ShardPlan`; its ``chip_of_block``
+        assignment defines the stage boundaries (one stage per chip).
+    num_stages:
+        Stage count when no plan is given (also overrides the plan's
+        boundaries when both are passed).  Clamped to ``num_layers``.
+    micro_batch_rows:
+        Rows per micro-batch (default and minimum 2).  Larger
+        micro-batches amortize queue overhead at the cost of pipeline
+        bubbles on small batches.  Two is the bitwise floor: NumPy
+        dispatches one-row 2D matmuls to BLAS *gemv*, whose accumulation
+        order differs from the *gemm* the full batch uses, so a 1-row
+        micro-batch would diverge from the sequential path in the last
+        ulp.  Row blocks of >= 2 stay on gemm, which slices bitwise-
+        stably (a trailing 1-row remainder is folded into the previous
+        micro-batch for the same reason).
+    """
+
+    def __init__(
+        self,
+        model,
+        shard_plan=None,
+        num_stages: int | None = None,
+        micro_batch_rows: int = 2,
+    ) -> None:
+        if micro_batch_rows < 2:
+            raise ValueError(f"micro_batch_rows must be >= 2, got {micro_batch_rows}")
+        self.model = model
+        self.micro_batch_rows = micro_batch_rows
+        num_layers = model.config.num_layers
+        if num_stages is not None:
+            if num_stages < 1:
+                raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+            self.stage_bounds = _even_stage_bounds(num_layers, num_stages)
+        elif shard_plan is not None and getattr(shard_plan, "chip_of_block", None):
+            self.stage_bounds = _plan_stage_bounds(shard_plan.chip_of_block, num_layers)
+        else:
+            raise ValueError("pass a shard_plan with a chip assignment or num_stages")
+        stages = [self._head_stage()]
+        stages.extend(self._block_stage(a, b) for a, b in self.stage_bounds)
+        stages.append(self._tail_stage())
+        self._pipeline = StagePipeline(stages)
+        self.steps = 0  # forward() calls served
+        self.micro_batches = 0  # micro-batches pushed through the pipeline
+
+    @property
+    def num_stages(self) -> int:
+        """Transformer-block stages (head/tail embedding stages excluded)."""
+        return len(self.stage_bounds)
+
+    # ------------------------------------------------------------------
+    # Stage bodies.  Payload flowing between stages:
+    #   (feeds (m,1), view KVCache over rows [a,b), x Tensor, mask)
+    # Rows, blocks and per-layer stats sinks are disjoint across workers.
+    # ------------------------------------------------------------------
+    def _head_stage(self):
+        model = self.model
+
+        def head(index: int, payload):
+            feeds, view = payload
+            positions = view.lengths[:, None] + np.arange(1)[None, :]
+            x = model.token_embedding(feeds) + model.position_embedding(positions)
+            x = model.embed_dropout(x)
+            mask = view.key_padding_mask(view.max_length + 1)
+            return view, x, mask
+
+        return head
+
+    def _block_stage(self, start: int, stop: int):
+        model = self.model
+
+        def run_blocks(index: int, payload):
+            view, x, mask = payload
+            for i in range(start, stop):
+                x = model.blocks[i](x, attention_mask=mask, cache=view.layer(i))
+            return view, x, mask
+
+        return run_blocks
+
+    def _tail_stage(self):
+        model = self.model
+
+        def tail(index: int, payload):
+            view, x, _ = payload
+            logits = model.lm_head(model.final_norm(x))
+            view.advance(1)
+            return logits.data[:, -1]
+
+        return tail
+
+    # ------------------------------------------------------------------
+    def forward(self, feeds: np.ndarray, cache) -> np.ndarray:
+        """Last-position logits ``(n, vocab)`` for one decode step.
+
+        ``feeds`` is ``(n, 1)`` next-input tokens, ``cache`` the live-row
+        ``rows_view`` the sequential path would decode over.  Each row's
+        K/V row is appended and its length advanced exactly once, as in
+        the sequential forward.
+        """
+        n = int(feeds.shape[0])
+        step = self.micro_batch_rows
+        # Captured once, before any micro-batch advances its rows: every
+        # micro-batch attends over the key width the full batch would use
+        # (see _PinnedWidthView — this is what keeps outputs bitwise-equal).
+        pinned_max = int(cache.max_length)
+        jobs = []
+        for a in range(0, n, step):
+            b = min(a + step, n)
+            if n - b == 1:
+                b = n  # fold a 1-row remainder in (gemv/gemm — see class doc)
+            jobs.append((feeds[a:b], _pin_view(cache.rows_view(a, b), pinned_max)))
+            if b == n:
+                break
+        outputs = self._pipeline.run(jobs)
+        self.steps += 1
+        self.micro_batches += len(jobs)
+        return np.concatenate(outputs, axis=0)
+
+    def close(self) -> None:
+        """Shut down the stage worker threads (idempotent)."""
+        self._pipeline.close()

@@ -28,7 +28,7 @@ import numpy as np
 from repro.dist.mesh import DeviceMesh
 from repro.pim.chip import ChipConfig, HyFlexPimChip, group_layers_by_block
 from repro.rram.cell import CellType, MLC2
-from repro.rram.mapping import partition_rank
+from repro.rram.mapping import partition_rank, partition_rank_compacted
 from repro.rram.noise import NoiseSpec
 from repro.svd.pipeline import LayerPlan
 
@@ -67,6 +67,33 @@ def compacted_tile_aligned(
         if n_protected % tile or (stop - n_protected) % tile:
             return False
     return True
+
+
+def _compacted_aligned_slices(
+    plan: LayerPlan, parts: int, tile: int
+) -> list[tuple[int, int]]:
+    """Rank slices for one layer, compacted-aligned whenever reachable.
+
+    The plain :func:`~repro.rram.mapping.partition_rank` slices win when
+    they are already aligned in compacted SLC/MLC space — that keeps every
+    historically-aligned layer's boundaries byte-identical.  Only layers
+    that would fall back to sub-tile accumulation retry with
+    :func:`~repro.rram.mapping.partition_rank_compacted`; the retry is
+    accepted when it exists, matches the plain shard count (so shard-group
+    placement keeps its shape), and stays reasonably balanced (no shard
+    wider than twice the plain maximum, which would shift capacity
+    pressure onto one PU group).
+    """
+    plain = partition_rank(plan.rank, parts, tile=tile)
+    if compacted_tile_aligned(plan.protected_ranks, plain, tile):
+        return plain
+    aligned = partition_rank_compacted(plan.protected_ranks, parts, tile=tile)
+    if aligned is None or len(aligned) != len(plain):
+        return plain
+    plain_max = max(stop - start for start, stop in plain)
+    if max(stop - start for start, stop in aligned) > 2 * plain_max:
+        return plain
+    return aligned
 
 
 def shard_layer_plan(plan: LayerPlan, start: int, stop: int) -> LayerPlan:
@@ -237,11 +264,16 @@ class ShardPlan:
             # Rank slices are a property of each logical layer, shared by
             # every shard group; boundaries align to whole array row tiles
             # whenever possible (shards split mapped arrays, not wordlines).
+            # Logical-space alignment is not enough once split_by_rank
+            # compacts protected/unprotected ranks into separate matrices,
+            # so layers whose balanced boundaries land sub-tile in
+            # compacted space retry with compacted-aligned boundaries
+            # (already-aligned layers keep their slices untouched).
             slices_of = {
-                name: partition_rank(
-                    plans[name].rank,
+                name: _compacted_aligned_slices(
+                    plans[name],
                     tensor_parallel,
-                    tile=mesh.hardware.array_rows,
+                    mesh.hardware.array_rows,
                 )
                 for name in chip_names
             }

@@ -83,6 +83,7 @@ def _ensure_builtin_studies() -> None:
     """Import the bundled figure studies so their registrations exist."""
     # Imported lazily to avoid a hard cycle (studies import repro.exp.*),
     # and re-run in worker processes that start with an empty registry.
+    import repro.exp.studies_api  # noqa: F401
     import repro.exp.studies_arch  # noqa: F401
     import repro.exp.studies_bench  # noqa: F401
     import repro.exp.studies_dist  # noqa: F401

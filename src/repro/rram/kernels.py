@@ -66,6 +66,7 @@ matrix or per call everywhere the GEMV surfaces (``ProgrammedMatrix``,
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -227,21 +228,27 @@ class PlaneCache:
         self.stats = PlaneCacheStats()
         self._generation: int | None = None
         self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        # The stage-pipelined executor consults one shared cache from
+        # several worker threads; entries are content-keyed so hits stay
+        # bitwise-exact, but the LRU bookkeeping needs mutual exclusion.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def set_generation(self, generation: int) -> None:
         """Drop every entry when the batch-composition generation changed."""
-        if generation != self._generation:
-            if self._entries:
-                self.stats.invalidations += 1
-                self._entries.clear()
-            self._generation = generation
+        with self._lock:
+            if generation != self._generation:
+                if self._entries:
+                    self.stats.invalidations += 1
+                    self._entries.clear()
+                self._generation = generation
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def _entry(
         self, input_codes: np.ndarray, input_bits: int, stats: "GemvStats | None"
@@ -272,8 +279,9 @@ class PlaneCache:
         self, input_codes: np.ndarray, input_bits: int, stats: "GemvStats | None" = None
     ) -> tuple[np.ndarray, int]:
         """``(uint8 planes (bits, batch, in), used-bit mask)`` for the block."""
-        entry = self._entry(input_codes, input_bits, stats)
-        return entry["u8"], entry["used"]
+        with self._lock:
+            entry = self._entry(input_codes, input_bits, stats)
+            return entry["u8"], entry["used"]
 
     def fused_lhs(
         self,
@@ -291,13 +299,14 @@ class PlaneCache:
         the SLC and MLC stages consuming the same activations share one
         materialization.
         """
-        entry = self._entry(input_codes, input_bits, stats)
-        kept = [k for k in range(input_bits) if (entry["used"] >> k) & 1]
-        lhs = entry["lhs"].get(rows)
-        if lhs is None:
-            lhs = _build_fused_lhs(entry["u8"], kept, rows)
-            entry["lhs"][rows] = lhs
-        return lhs, kept
+        with self._lock:
+            entry = self._entry(input_codes, input_bits, stats)
+            kept = [k for k in range(input_bits) if (entry["used"] >> k) & 1]
+            lhs = entry["lhs"].get(rows)
+            if lhs is None:
+                lhs = _build_fused_lhs(entry["u8"], kept, rows)
+                entry["lhs"][rows] = lhs
+            return lhs, kept
 
 
 _active_plane_cache: PlaneCache | None = None

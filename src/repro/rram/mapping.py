@@ -32,6 +32,7 @@ __all__ = [
     "HybridSplit",
     "split_by_rank",
     "partition_rank",
+    "partition_rank_compacted",
 ]
 
 
@@ -127,6 +128,53 @@ def partition_rank(rank: int, parts: int, tile: int = 1) -> list[tuple[int, int]
         for p in range(parts)
         if bounds[p + 1] > bounds[p]
     ]
+
+
+def partition_rank_compacted(
+    protected: np.ndarray, parts: int, tile: int = 1
+) -> list[tuple[int, int]] | None:
+    """Balanced contiguous partition aligned in *compacted* SLC/MLC space.
+
+    :func:`split_by_rank` compacts a layer's protected and unprotected
+    ranks into separate matrices before tiling, so the accumulation-tile
+    boundaries the ADC clips at live in compacted space — a shard boundary
+    at logical rank ``b`` preserves the unsharded tiling only when both the
+    protected count below ``b`` and the unprotected count below ``b`` are
+    multiples of ``tile``.  :func:`partition_rank` balances in *logical*
+    rank space and only lands on such boundaries by luck; this variant
+    restricts each boundary to the nearest compacted-aligned candidate
+    around the balanced target instead.
+
+    Returns ``None`` when no such partition exists with one non-empty
+    slice per part (the caller should fall back to
+    :func:`partition_rank`'s sub-tile boundaries).  ``parts == 1`` always
+    succeeds (a single shard has no interior boundary).
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if tile < 1:
+        raise ValueError(f"tile must be >= 1, got {tile}")
+    protected = np.asarray(protected, dtype=bool)
+    rank = protected.size
+    if parts == 1:
+        return [(0, rank)] if rank else None
+    prefix = np.concatenate([[0], np.cumsum(protected)])
+    candidates = [
+        b
+        for b in range(1, rank)
+        if prefix[b] % tile == 0 and (b - prefix[b]) % tile == 0
+    ]
+    bounds = [0]
+    for p in range(1, parts):
+        ideal = (rank * p) // parts
+        feasible = [c for c in candidates if c > bounds[-1]]
+        # Keep room for the remaining parts - p boundaries after this one.
+        feasible = feasible[: len(feasible) - (parts - 1 - p)]
+        if not feasible:
+            return None
+        bounds.append(min(feasible, key=lambda c: (abs(c - ideal), c)))
+    bounds.append(rank)
+    return [(bounds[p], bounds[p + 1]) for p in range(parts)]
 
 
 @dataclass

@@ -9,6 +9,7 @@ operands) and :mod:`repro.serve.continuous` for the iteration-level
 scheduler.
 """
 
+from repro.serve.api import AdmissionPolicy, ApiServer
 from repro.serve.continuous import ContinuousScheduler
 from repro.serve.engine import (
     SCHEDULERS,
@@ -16,20 +17,36 @@ from repro.serve.engine import (
     ServingEngine,
     ServingStats,
 )
+from repro.serve.replica import (
+    LeastOutstandingTokensRouter,
+    PoolResult,
+    ReplicaPool,
+    RoundRobinRouter,
+    SessionAffinityRouter,
+    ShmRing,
+)
 from repro.serve.requests import GenerationRequest, RequestResult, TokenCallback
 from repro.serve.slots import CacheSlotPool, RowSlotManager, RowSlotStats, SlotPoolStats
 
 __all__ = [
+    "AdmissionPolicy",
+    "ApiServer",
     "CacheSlotPool",
     "ContinuousScheduler",
     "GenerationRequest",
+    "LeastOutstandingTokensRouter",
+    "PoolResult",
     "RecalibrationPolicy",
+    "ReplicaPool",
     "RequestResult",
+    "RoundRobinRouter",
     "RowSlotManager",
     "RowSlotStats",
     "SCHEDULERS",
     "ServingEngine",
     "ServingStats",
+    "SessionAffinityRouter",
+    "ShmRing",
     "SlotPoolStats",
     "TokenCallback",
 ]

@@ -65,6 +65,7 @@ class _RowState:
     remaining: int = 0  # budget left
     first_token_at: float | None = None
     finished: bool = False
+    preempted: bool = False  # cut short by its deadline, not its budget
 
 
 class ContinuousScheduler:
@@ -86,6 +87,7 @@ class ContinuousScheduler:
         eos_id: int | None = None,
         max_tokens: int | None = None,
         plane_cache: bool = True,
+        executor=None,
     ) -> None:
         if max_tokens is not None and max_tokens < 1:
             raise ValueError(f"max_tokens must be >= 1, got {max_tokens}")
@@ -96,6 +98,13 @@ class ContinuousScheduler:
         self.rng = rng
         self.eos_id = eos_id
         self.max_tokens = max_tokens
+        # Optional stage-pipelined decode executor (duck-typed — see
+        # :class:`repro.dist.PipelinedBlockExecutor`): when set, the batch
+        # decode forward runs ``executor.forward(feeds, view)`` instead of
+        # ``model.forward``, overlapping pipeline stages across micro-
+        # batches of rows.  Prefill (single-request admission) always stays
+        # on the model.
+        self.executor = executor
         self.slots = RowSlotManager(max_batch_size)
         self._rows: list[_RowState | None] = [None] * max_batch_size
         self._cache: KVCache | None = None
@@ -137,6 +146,7 @@ class ContinuousScheduler:
         try:
             with no_grad(), plane_cache_scope(self.plane_cache):
                 self._sync_plane_cache()
+                self._preempt_overdue(completed)  # frees rows before admission
                 self._admit(queue, completed)
                 self._sweep_finished(completed)  # budget-1 / instant-EOS rows
                 self._decode_once()
@@ -164,6 +174,48 @@ class ContinuousScheduler:
             self.plane_cache.set_generation(self.slots.generation)
 
     # ------------------------------------------------------------------
+    # Deadline enforcement (SLO preemption)
+    # ------------------------------------------------------------------
+    def _preempt_overdue(self, completed: list[RequestResult]) -> None:
+        """Preempt live rows whose deadline has passed.
+
+        A preempted request is finalized with the tokens emitted so far
+        (``preempted=True``) and retired by the following sweep, freeing
+        its cache row for queued work.  The clock is only read when some
+        live row actually carries a deadline, so deadline-free serving
+        performs exactly the historical clock-call sequence (the
+        deterministic fake-clock tests depend on that).
+        """
+        states = [s for s in self._rows[: self.live] if s is not None]
+        if not any(s.request.deadline_at is not None for s in states):
+            return
+        now = self.clock()
+        for state in states:
+            deadline = state.request.deadline_at
+            if not state.finished and deadline is not None and now > deadline:
+                state.finished = True
+                state.preempted = True
+        self._sweep_finished(completed)
+
+    def _expire_queued(
+        self, queue: list[GenerationRequest], completed: list[RequestResult]
+    ) -> None:
+        """Expire queue-head requests that are already past their deadline.
+
+        Only the head is examined (admission is strict FIFO within the
+        engine's priority ordering); deeper over-deadline requests expire
+        when they reach the head.  Expired requests complete unserved with
+        empty tokens and ``preempted=True``.
+        """
+        while queue and queue[0].deadline_at is not None:
+            if self.clock() <= queue[0].deadline_at:
+                break
+            request = queue.pop(0)
+            result = self._empty_result(request, self.clock())
+            result.preempted = True
+            completed.append(result)
+
+    # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
     def _fits(self, request: GenerationRequest) -> bool:
@@ -176,6 +228,7 @@ class ContinuousScheduler:
         return self._reserved_tokens + request.token_need <= self.max_tokens
 
     def _admit(self, queue: list[GenerationRequest], completed: list[RequestResult]) -> None:
+        self._expire_queued(queue, completed)
         while queue and self.slots.free > 0 and self._fits(queue[0]):
             request = queue.pop(0)
             admitted_at = self.clock()
@@ -203,6 +256,7 @@ class ContinuousScheduler:
             token = self.model.select_tokens(logits, self.rng)
             self.last_prefill_tokens += int(request.prompt.size)
             self._emit(state, int(token[0]))
+            self._expire_queued(queue, completed)
 
     def _empty_result(self, request: GenerationRequest, admitted_at: float) -> RequestResult:
         finished_at = self.clock()
@@ -242,7 +296,10 @@ class ContinuousScheduler:
         self.last_decode_rows = n
         feeds = np.array([[self._rows[i].feed] for i in range(n)], dtype=np.int64)
         view = self._cache.rows_view(0, n)
-        logits = self.model.forward(feeds, cache=view).data[:, -1]
+        if self.executor is not None:
+            logits = self.executor.forward(feeds, view)
+        else:
+            logits = self.model.forward(feeds, cache=view).data[:, -1]
         tokens = self.model.select_tokens(logits, self.rng)
         for i in range(n):
             self._emit(self._rows[i], int(tokens[i]))
@@ -275,6 +332,7 @@ class ContinuousScheduler:
             batch_size=batch_size,
             ttft_s=state.first_token_at - request.submitted_at,
             tpot_s=tpot,
+            preempted=state.preempted,
         )
 
     def _retire_row(self, state: _RowState) -> None:

@@ -52,6 +52,8 @@ Design notes
 
 from __future__ import annotations
 
+import bisect
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -115,6 +117,9 @@ class ServingStats:
     drift_probes: int = 0
     recalibrations: int = 0
     layers_reprogrammed: int = 0
+    #: Requests cut short by their SLO deadline (queued expiry or decode
+    #: preemption) — see :class:`~repro.serve.requests.GenerationRequest`.
+    preempted: int = 0
     #: Batched-decode fast-path accounting (continuous scheduler): activation
     #: bit-planes packed fresh vs. served from the step's PlaneCache, and
     #: rows dispatched through the fused ``fast_gemm`` kernel.
@@ -129,6 +134,12 @@ class ServingStats:
     ttfts_s: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
     tpots_s: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
     batch_sizes: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
+    #: Latency-split windows: admission wait (``RequestResult.queued_s``)
+    #: and engine-side time-to-first-token (``service_ttft_s`` — TTFT with
+    #: the admission wait subtracted), so an overloaded queue cannot
+    #: masquerade as slow prefill.
+    queued_s: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
+    service_ttfts_s: deque = field(default_factory=lambda: deque(maxlen=STATS_WINDOW))
 
     @property
     def tokens_per_s(self) -> float:
@@ -168,6 +179,26 @@ class ServingStats:
         return _window_mean(self.tpots_s)
 
     @property
+    def mean_queued_s(self) -> float:
+        """Mean admission wait (queueing delay) over the sliding window."""
+        return _window_mean(self.queued_s)
+
+    @property
+    def p95_queued_s(self) -> float:
+        """95th-percentile admission wait over the sliding window."""
+        return _window_p95(self.queued_s)
+
+    @property
+    def mean_service_ttft_s(self) -> float:
+        """Mean engine-side TTFT (admission wait excluded) over the window."""
+        return _window_mean(self.service_ttfts_s)
+
+    @property
+    def p95_service_ttft_s(self) -> float:
+        """95th-percentile engine-side TTFT over the sliding window."""
+        return _window_p95(self.service_ttfts_s)
+
+    @property
     def mean_batch_size(self) -> float:
         """Mean decode-step batch size over the sliding window."""
         return _window_mean(self.batch_sizes)
@@ -182,6 +213,7 @@ class ServingStats:
             "drift_probes": self.drift_probes,
             "recalibrations": self.recalibrations,
             "layers_reprogrammed": self.layers_reprogrammed,
+            "preempted": self.preempted,
             "planes_packed": self.planes_packed,
             "pack_reuses": self.pack_reuses,
             "fused_rows": self.fused_rows,
@@ -194,6 +226,10 @@ class ServingStats:
             "mean_ttft_s": round(self.mean_ttft_s, 6),
             "p95_ttft_s": round(self.p95_ttft_s, 6),
             "mean_tpot_s": round(self.mean_tpot_s, 6),
+            "mean_queued_s": round(self.mean_queued_s, 6),
+            "p95_queued_s": round(self.p95_queued_s, 6),
+            "mean_service_ttft_s": round(self.mean_service_ttft_s, 6),
+            "p95_service_ttft_s": round(self.p95_service_ttft_s, 6),
             "mean_batch_size": round(self.mean_batch_size, 3),
         }
 
@@ -315,6 +351,7 @@ class ServingEngine:
         shard_plan=None,
         recalibration: RecalibrationPolicy | None = None,
         calibration_prompts: np.ndarray | None = None,
+        pipeline: int | bool | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -385,6 +422,28 @@ class ServingEngine:
             self._projection = HardwareProjection(
                 shard_plan, hidden_dim=model.config.d_model
             )
+        # Stage-pipelined decode executor (continuous only): overlap stage i
+        # of token t with stage i-1 of token t+1 across the ShardPlan's
+        # pipeline assignment (or an even `pipeline`-way block split when no
+        # plan is present).  Noiseless outputs stay bitwise-equal to the
+        # sequential path — see repro.dist.pipeline.
+        self.executor = None
+        if pipeline:
+            if self._continuous is None:
+                raise ValueError("pipeline execution requires the continuous scheduler")
+            from repro.dist.pipeline import PipelinedBlockExecutor
+
+            num_stages = None if pipeline is True else int(pipeline)
+            self.executor = PipelinedBlockExecutor(
+                model, shard_plan=shard_plan, num_stages=num_stages
+            )
+            self._continuous.executor = self.executor
+        # Cross-thread serving support: submit()/pop_result() may run on an
+        # asyncio event-loop thread while step() runs on a driver thread.
+        # The lock guards the ingress queue, the result retention dict and
+        # id allocation; the decode itself never holds it.
+        self._lock = threading.Lock()
+        self._ingress: deque[GenerationRequest] = deque()
 
     # ------------------------------------------------------------------
     # Deployment helpers
@@ -521,6 +580,8 @@ class ServingEngine:
         prompt: np.ndarray,
         max_new_tokens: int,
         on_token: TokenCallback | None = None,
+        priority: int = 0,
+        deadline_s: float | None = None,
     ) -> int:
         """Enqueue one prompt; returns its request id.
 
@@ -528,6 +589,16 @@ class ServingEngine:
         token)``: under continuous scheduling it fires the moment each
         token is emitted; under static scheduling it fires per token once
         the request's batch completes.
+
+        ``priority`` ranks admission (higher first, FIFO within a class);
+        ``deadline_s`` is a relative SLO budget — the request must finish
+        within this many clock seconds of submission or it expires in the
+        queue / is preempted mid-decode (continuous scheduler only; the
+        result carries ``preempted=True`` and the tokens emitted so far).
+
+        Thread-safe: may be called from any thread while another thread
+        drives :meth:`step` — requests land in a locked ingress queue that
+        ``step`` drains in priority order.
         """
         prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
         if prompt.size == 0:
@@ -545,21 +616,50 @@ class ServingEngine:
                 f"request reserves {prompt.size + max_new_tokens} tokens, "
                 f"over the engine's max_tokens budget {self.max_tokens}"
             )
-        request = GenerationRequest(
-            request_id=self._next_id,
-            prompt=prompt,
-            max_new_tokens=int(max_new_tokens),
-            submitted_at=self.clock(),
-            on_token=on_token,
-        )
-        self._next_id += 1
-        self._queue.append(request)
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError(f"deadline_s must be >= 0, got {deadline_s}")
+        submitted_at = self.clock()
+        deadline_at = None if deadline_s is None else submitted_at + deadline_s
+        with self._lock:
+            request = GenerationRequest(
+                request_id=self._next_id,
+                prompt=prompt,
+                max_new_tokens=int(max_new_tokens),
+                submitted_at=submitted_at,
+                on_token=on_token,
+                priority=int(priority),
+                deadline_at=deadline_at,
+            )
+            self._next_id += 1
+            self._ingress.append(request)
         return request.request_id
+
+    def _drain_ingress(self) -> None:
+        """Move ingressed requests into the scheduler queue (priority order).
+
+        Each request is inserted before the first strictly-lower-priority
+        queued request, so the queue stays ordered by descending priority
+        and FIFO within a class.  With all-default priorities the insertion
+        point is always the tail — the historical strict-FIFO behaviour.
+        Only the step-driving thread touches ``_queue``; the lock is held
+        just long enough to snapshot the ingress.
+        """
+        with self._lock:
+            if not self._ingress:
+                return
+            incoming = list(self._ingress)
+            self._ingress.clear()
+        keys = [-r.priority for r in self._queue]
+        for request in incoming:
+            idx = bisect.bisect_right(keys, -request.priority)
+            self._queue.insert(idx, request)
+            keys.insert(idx, -request.priority)
 
     @property
     def pending(self) -> int:
-        """Queued requests not yet admitted."""
-        return len(self._queue)
+        """Queued requests not yet admitted (ingress included)."""
+        with self._lock:
+            return len(self._queue) + len(self._ingress)
 
     @property
     def in_flight(self) -> int:
@@ -611,14 +711,16 @@ class ServingEngine:
         retained for :meth:`pop_result` until popped.
         """
         work_before = self.stats.batches + self.stats.iterations
+        self._drain_ingress()
         if self.scheduler == "static":
             results = self._step_static(force)
         else:
             results = self._step_continuous(force)
-        for result in results:
-            self._completed[result.request_id] = result
-        while len(self._completed) > self.result_buffer:
-            self._completed.pop(next(iter(self._completed)))
+        with self._lock:
+            for result in results:
+                self._completed[result.request_id] = result
+            while len(self._completed) > self.result_buffer:
+                self._completed.pop(next(iter(self._completed)))
         if self.stats.batches + self.stats.iterations > work_before:
             self._maybe_recalibrate()
         return results
@@ -659,13 +761,19 @@ class ServingEngine:
         return results
 
     def pop_result(self, request_id: int) -> RequestResult | None:
-        """Claim (and forget) a completed request's result, if any."""
-        return self._completed.pop(request_id, None)
+        """Claim (and forget) a completed request's result, if any.
+
+        Thread-safe (see :meth:`submit`).
+        """
+        with self._lock:
+            return self._completed.pop(request_id, None)
 
     @property
     def busy(self) -> bool:
-        """True while requests are queued or decoding."""
-        return bool(self._queue) or self.in_flight > 0
+        """True while requests are queued (ingress included) or decoding."""
+        with self._lock:
+            queued = bool(self._queue) or bool(self._ingress)
+        return queued or self.in_flight > 0
 
     def run_until_idle(self) -> list[RequestResult]:
         """Drain queue and in-flight work; returns results in completion order.
@@ -696,7 +804,8 @@ class ServingEngine:
                     # Claim eagerly: collecting from step()'s return keeps
                     # serve() immune to result-buffer eviction on huge runs.
                     collected[result.request_id] = result
-                    self._completed.pop(result.request_id, None)
+                    with self._lock:
+                        self._completed.pop(result.request_id, None)
         return [collected[i] for i in ids]
 
     # ------------------------------------------------------------------
@@ -768,6 +877,13 @@ class ServingEngine:
             self.stats.ttfts_s.append(result.ttft_s)
             self.stats.tpots_s.append(result.tpot_s)
             self.stats.batch_sizes.append(result.batch_size)
+            self.stats.queued_s.append(result.queued_s)
+            if result.tokens.size:
+                # Queued-expiry results never saw a first token; only
+                # served requests contribute an engine-side TTFT sample.
+                self.stats.service_ttfts_s.append(result.service_ttft_s)
+            if result.preempted:
+                self.stats.preempted += 1
             if self._projection is not None:
                 prompt_len = int(result.prompt.shape[0])
                 generated = int(result.tokens.size)

@@ -28,6 +28,19 @@ class GenerationRequest:
     scheduler fires it the moment each token is emitted; the static
     scheduler fires it for every token once the request's batch completes
     (a static batch cannot stream mid-flight).
+
+    SLO fields (both optional; the defaults reproduce the historical
+    strict-FIFO behaviour exactly):
+
+    ``priority``
+        Admission class — higher admits first.  The engine keeps the queue
+        ordered by descending priority, FIFO *within* a class, so a burst
+        of low-priority batch work cannot starve interactive requests.
+    ``deadline_at``
+        Absolute clock value (same injectable clock) after which the
+        request is over-SLO.  A queued request past its deadline expires
+        unserved; a decoding one is *preempted* — it keeps the tokens
+        emitted so far and frees its cache row for queued work.
     """
 
     request_id: int
@@ -35,6 +48,8 @@ class GenerationRequest:
     max_new_tokens: int
     submitted_at: float
     on_token: TokenCallback | None = field(default=None, repr=False)
+    priority: int = 0
+    deadline_at: float | None = None
 
     @property
     def prompt_len(self) -> int:
@@ -51,14 +66,28 @@ class GenerationRequest:
 class RequestResult:
     """A completed request: prompt + generated continuation + timing.
 
-    Latency definitions (all measured on the engine's injectable clock):
+    Latency definitions (all measured on the engine's injectable clock).
+    Queueing delay and service time are reported *split* so an overloaded
+    engine's admission wait cannot masquerade as slow decoding:
 
+    ``queued_s``
+        Admission wait — submit until the request was admitted (batch
+        start under static scheduling, cache-row checkout under
+        continuous).  Pure scheduling delay; the model never touched this
+        request during it.
     ``ttft_s``
-        Time to first token — submit until the first generated token was
-        available to the caller.  Under continuous scheduling that is the
-        moment the token was emitted; under static scheduling results only
-        materialize when the whole batch finishes, so TTFT equals
-        ``latency_s``.
+        Time to first token as the *caller* experiences it — submit until
+        the first generated token was available.  Includes ``queued_s``.
+        Under continuous scheduling that is the moment the token was
+        emitted; under static scheduling results only materialize when the
+        whole batch finishes, so TTFT equals ``latency_s``.
+    ``service_ttft_s``
+        Time to first token as the *engine* spent it — admission until the
+        first token (``ttft_s - queued_s``).  This is the prefill cost the
+        hardware models care about, independent of queue depth.
+    ``service_s``
+        Admission until completion (``latency_s - queued_s``): the decode
+        service time proper.
     ``tpot_s``
         Time per output token after the first — ``(completion - first
         token) / (n - 1)`` under continuous scheduling (0 for single-token
@@ -72,6 +101,10 @@ class RequestResult:
         the plan's steady-state rate, interconnect costs (OCI partial-sum
         aggregation, PCIe-6.0 pipeline handoffs) included — see
         :meth:`repro.dist.HardwareProjection.request_latency_s`.
+
+    ``preempted`` marks an over-deadline request the scheduler cut short:
+    ``tokens`` holds whatever was emitted before the deadline passed
+    (possibly none, for a request that expired in the queue).
     """
 
     request_id: int
@@ -83,6 +116,17 @@ class RequestResult:
     ttft_s: float = 0.0
     tpot_s: float = 0.0
     projected_latency_s: float | None = None
+    preempted: bool = False
+
+    @property
+    def service_s(self) -> float:
+        """Admission-to-completion service time (excludes queueing delay)."""
+        return self.latency_s - self.queued_s
+
+    @property
+    def service_ttft_s(self) -> float:
+        """Admission-to-first-token time (``ttft_s`` minus admission wait)."""
+        return self.ttft_s - self.queued_s
 
     @property
     def full_sequence(self) -> np.ndarray:

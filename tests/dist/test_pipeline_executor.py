@@ -1,0 +1,212 @@
+"""PipelinedBlockExecutor: bitwise equivalence with the sequential decode path.
+
+The stage-pipelined executor overlaps stage *i* of micro-batch *t* with
+stage *i-1* of micro-batch *t+1*; the contract is that for noiseless
+deployments its outputs are **bitwise** equal to the sequential
+``model.forward(feeds, cache=view).data[:, -1]`` — across batch sizes,
+ragged cache lengths, stage counts and micro-batch widths.  The two
+subtle hazards it must neutralize are pinned here explicitly: 1-row
+micro-batches dispatch to BLAS gemv (different accumulation than gemm),
+and narrower per-micro-batch attention key widths change softmax
+reduction lengths — both would silently break the continuous scheduler's
+``generate``-equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import DeviceMesh, PipelinedBlockExecutor, ShardPlan
+from repro.nn import DecoderLM, TransformerConfig
+from repro.nn.kv_cache import KVCache
+from repro.serve import ServingEngine
+
+from tests.dist.test_plan import make_plans
+
+VOCAB = 48
+MAX_SEQ = 32
+
+
+def _model(num_layers: int = 4, seed: int = 0) -> DecoderLM:
+    return DecoderLM(
+        TransformerConfig(
+            vocab_size=VOCAB,
+            d_model=32,
+            num_heads=4,
+            num_layers=num_layers,
+            d_ff=64,
+            max_seq_len=MAX_SEQ,
+            seed=seed,
+        )
+    )
+
+
+def _filled_cache(model: DecoderLM, lengths: list[int], rng) -> KVCache:
+    """A live cache with the given per-row prompt lengths prefilled."""
+    cache = KVCache(
+        num_layers=model.config.num_layers,
+        batch=len(lengths),
+        num_heads=model.config.num_heads,
+        head_dim=model.config.d_model // model.config.num_heads,
+        capacity=MAX_SEQ,
+    )
+    width = max(lengths)
+    prompts = rng.integers(0, VOCAB, size=(len(lengths), width))
+    model.forward(prompts, cache=cache)
+    cache.set_lengths(np.array(lengths))
+    return cache
+
+
+def _decode_once(model, cache, feeds):
+    view = cache.rows_view(0, cache.batch)
+    return model.forward(feeds, cache=view).data[:, -1]
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    @pytest.mark.parametrize("ragged", [False, True])
+    def test_matches_sequential_forward(self, rng, n, ragged):
+        model = _model()
+        if ragged:
+            lengths = [int(x) for x in rng.integers(2, 10, size=n)]
+        else:
+            lengths = [6] * n
+        feeds = rng.integers(0, VOCAB, size=(n, 1))
+
+        sequential_cache = _filled_cache(_model(), lengths, np.random.default_rng(7))
+        expected = _decode_once(_model(), sequential_cache, feeds)
+
+        cache = _filled_cache(model, lengths, np.random.default_rng(7))
+        executor = PipelinedBlockExecutor(model, num_stages=2)
+        try:
+            got = executor.forward(feeds, cache.rows_view(0, n))
+        finally:
+            executor.close()
+        np.testing.assert_array_equal(got, expected)
+        # The pipelined step advanced every row exactly once, like the
+        # sequential forward does.
+        np.testing.assert_array_equal(
+            cache.lengths[:n], sequential_cache.lengths[:n]
+        )
+
+    @pytest.mark.parametrize("num_stages", [1, 2, 4])
+    @pytest.mark.parametrize("micro_batch_rows", [2, 3, 4])
+    def test_stage_and_micro_batch_grid(self, rng, num_stages, micro_batch_rows):
+        n = 7  # odd: exercises the folded 1-row remainder
+        lengths = [int(x) for x in rng.integers(2, 10, size=n)]
+        feeds = rng.integers(0, VOCAB, size=(n, 1))
+        expected = _decode_once(
+            _model(), _filled_cache(_model(), lengths, np.random.default_rng(3)), feeds
+        )
+        model = _model()
+        cache = _filled_cache(model, lengths, np.random.default_rng(3))
+        executor = PipelinedBlockExecutor(
+            model, num_stages=num_stages, micro_batch_rows=micro_batch_rows
+        )
+        try:
+            got = executor.forward(feeds, cache.rows_view(0, n))
+        finally:
+            executor.close()
+        np.testing.assert_array_equal(got, expected)
+
+    def test_multi_step_decode_stays_bitwise(self, rng):
+        """Several consecutive pipelined steps against sequential decode."""
+        n, steps = 4, 5
+        lengths = [int(x) for x in rng.integers(2, 8, size=n)]
+        feeds = rng.integers(0, VOCAB, size=(n, 1))
+
+        seq_model = _model()
+        seq_cache = _filled_cache(seq_model, lengths, np.random.default_rng(11))
+        pipe_model = _model()
+        pipe_cache = _filled_cache(pipe_model, lengths, np.random.default_rng(11))
+        executor = PipelinedBlockExecutor(pipe_model, num_stages=2)
+        try:
+            current_seq, current_pipe = feeds, feeds
+            for _ in range(steps):
+                expected = _decode_once(seq_model, seq_cache, current_seq)
+                got = executor.forward(current_pipe, pipe_cache.rows_view(0, n))
+                np.testing.assert_array_equal(got, expected)
+                current_seq = expected.argmax(axis=-1)[:, None]
+                current_pipe = got.argmax(axis=-1)[:, None]
+        finally:
+            executor.close()
+        assert executor.steps == steps
+
+
+class TestStageBounds:
+    def test_even_split_covers_all_layers(self):
+        model = _model(num_layers=5)
+        executor = PipelinedBlockExecutor(model, num_stages=2)
+        try:
+            assert executor.num_stages == 2
+            assert executor.stage_bounds[0][0] == 0
+            assert executor.stage_bounds[-1][1] == 5
+            covered = [
+                i for a, b in executor.stage_bounds for i in range(a, b)
+            ]
+            assert covered == list(range(5))
+        finally:
+            executor.close()
+
+    def test_stages_clamped_to_num_layers(self):
+        executor = PipelinedBlockExecutor(_model(num_layers=2), num_stages=8)
+        try:
+            assert executor.num_stages == 2
+        finally:
+            executor.close()
+
+    def test_bounds_from_shard_plan_chip_assignment(self, rng):
+        plans = make_plans(rng, num_blocks=4)
+        plan = ShardPlan.build(plans, DeviceMesh(num_chips=2))
+        assert plan.chips_used == 2
+        executor = PipelinedBlockExecutor(_model(num_layers=4), shard_plan=plan)
+        try:
+            # One stage per chip: the plan's contiguous block runs.
+            assert executor.num_stages == 2
+            assert executor.stage_bounds == [(0, 2), (2, 4)]
+        finally:
+            executor.close()
+
+    def test_counters_track_micro_batches(self, rng):
+        model = _model()
+        lengths = [4] * 6
+        cache = _filled_cache(model, lengths, rng)
+        executor = PipelinedBlockExecutor(model, num_stages=2, micro_batch_rows=2)
+        try:
+            executor.forward(np.zeros((6, 1), dtype=np.int64), cache.rows_view(0, 6))
+        finally:
+            executor.close()
+        assert executor.steps == 1
+        assert executor.micro_batches == 3
+
+    def test_validation(self):
+        model = _model(num_layers=2)
+        with pytest.raises(ValueError, match="micro_batch_rows"):
+            PipelinedBlockExecutor(model, num_stages=2, micro_batch_rows=1)
+        with pytest.raises(ValueError, match="num_stages"):
+            PipelinedBlockExecutor(model, num_stages=0)
+        with pytest.raises(ValueError, match="shard_plan"):
+            PipelinedBlockExecutor(model)
+
+
+class TestEngineIntegration:
+    def test_engine_pipeline_matches_sequential_engine(self, rng):
+        prompts = [rng.integers(0, VOCAB, size=int(n)) for n in rng.integers(2, 8, size=6)]
+        sequential = ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0)
+        seq_ids = [sequential.submit(p, 5) for p in prompts]
+        seq = {r.request_id: r for r in sequential.run_until_idle()}
+
+        pipelined = ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0, pipeline=2)
+        assert pipelined.executor is not None
+        pipe_ids = [pipelined.submit(p, 5) for p in prompts]
+        pipe = {r.request_id: r for r in pipelined.run_until_idle()}
+        pipelined.executor.close()
+
+        for sid, pid in zip(seq_ids, pipe_ids):
+            np.testing.assert_array_equal(pipe[pid].tokens, seq[sid].tokens)
+        assert pipelined.executor.steps > 0
+
+    def test_pipeline_requires_continuous_scheduler(self):
+        with pytest.raises(ValueError, match="continuous"):
+            ServingEngine(_model(), scheduler="static", pipeline=2)

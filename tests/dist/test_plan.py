@@ -13,7 +13,7 @@ from repro.dist import (
     shard_layer_plan,
 )
 from repro.pim.chip import ChipConfig, group_layers_by_block
-from repro.rram.mapping import ShardSpec, partition_rank
+from repro.rram.mapping import ShardSpec, partition_rank, partition_rank_compacted
 from repro.svd.pipeline import LayerPlan
 
 
@@ -214,6 +214,98 @@ class TestCompactedTileAlignment:
         assert plan.fully_tile_aligned
         assert plan.subtile_layers == []
         assert plan.describe()["subtile_fallback_layers"] == 0
+
+
+class TestCompactedAlignedPartitioning:
+    """Niggle regression: unaligned boundaries retry in compacted space.
+
+    ``ShardPlan.build`` used to take :func:`partition_rank`'s logical-space
+    balanced boundaries as final, so any layer whose protected/unprotected
+    prefix counts missed a tile multiple at the balanced split silently
+    fell back to sub-tile accumulation.  Now such layers retry with
+    :func:`partition_rank_compacted` and ``describe()`` reports fewer
+    ``subtile_fallback_layers`` — while already-aligned layers keep their
+    historical slices byte-identical.
+    """
+
+    #: protected ranks [0, 1, 8, 9] of a rank-16 layer on 4-row arrays:
+    #: the balanced 2-way boundary at 8 sees 2 protected / 6 unprotected
+    #: below (neither a tile multiple), but the boundary at 12 sees 4 / 8.
+    INTERLEAVED = [0, 1, 8, 9]
+
+    def _mesh(self):
+        from repro.arch.config import HardwareConfig
+
+        return DeviceMesh(hardware=HardwareConfig(array_rows=4))
+
+    def _interleaved_plans(self, rng):
+        plans = make_plans(rng, num_blocks=1)
+        for plan in plans.values():
+            plan.protected_ranks[:] = False
+            plan.protected_ranks[self.INTERLEAVED] = True
+        return plans
+
+    def test_partition_rank_compacted_lands_on_aligned_boundaries(self):
+        protected = np.zeros(16, dtype=bool)
+        protected[self.INTERLEAVED] = True
+        assert not compacted_tile_aligned(protected, partition_rank(16, 2, tile=4), 4)
+        slices = partition_rank_compacted(protected, 2, tile=4)
+        assert slices == [(0, 12), (12, 16)]
+        assert compacted_tile_aligned(protected, slices, 4)
+
+    def test_partition_rank_compacted_returns_none_when_impossible(self):
+        # A protected total that is not a tile multiple poisons every
+        # boundary past the last protected rank.
+        protected = np.zeros(16, dtype=bool)
+        protected[:6] = True
+        assert partition_rank_compacted(protected, 2, tile=64) is None
+
+    def test_partition_rank_compacted_single_part(self):
+        protected = np.zeros(5, dtype=bool)
+        assert partition_rank_compacted(protected, 1, tile=64) == [(0, 5)]
+
+    def test_partition_rank_compacted_validation(self):
+        protected = np.zeros(8, dtype=bool)
+        with pytest.raises(ValueError):
+            partition_rank_compacted(protected, 0, tile=4)
+        with pytest.raises(ValueError):
+            partition_rank_compacted(protected, 2, tile=0)
+
+    def test_build_rescues_subtile_layers(self, rng):
+        plans = self._interleaved_plans(rng)
+        # Sanity: the plain balanced partition is sub-tile for every layer.
+        for plan in plans.values():
+            assert not compacted_tile_aligned(
+                plan.protected_ranks, partition_rank(plan.rank, 2, tile=4), 4
+            )
+        built = ShardPlan.build(plans, self._mesh(), tensor_parallel=2)
+        assert built.fully_tile_aligned
+        assert built.describe()["subtile_fallback_layers"] == 0
+        for assignment in built.layers.values():
+            assert assignment.tile_aligned
+            assert assignment.rank_slices == [(0, 12), (12, 16)]
+
+    def test_build_keeps_already_aligned_slices_byte_identical(self, rng):
+        # Prefix masks of 4 protected ranks are aligned at the balanced
+        # boundary already — the retry must not touch their slices.
+        plans = make_plans(rng, num_blocks=1)
+        built = ShardPlan.build(plans, self._mesh(), tensor_parallel=2)
+        for name, assignment in built.layers.items():
+            assert assignment.rank_slices == partition_rank(
+                plans[name].rank, 2, tile=4
+            )
+            assert assignment.tile_aligned
+
+    def test_build_keeps_plain_slices_when_unrescuable(self, rng):
+        # Rank-16 layers on 64-row arrays have no interior aligned
+        # boundary at all: the fallback keeps partition_rank's slices.
+        plans = make_plans(rng, num_blocks=1)
+        built = ShardPlan.build(plans, DeviceMesh(), tensor_parallel=2)
+        for name, assignment in built.layers.items():
+            assert not assignment.tile_aligned
+            assert assignment.rank_slices == partition_rank(
+                plans[name].rank, 2, tile=64
+            )
 
 
 class TestDeploySharded:

@@ -1,0 +1,220 @@
+"""ApiServer: routes, SSE streaming, SLO-aware admission over the engine.
+
+The streaming front door of the scale-out tier: every route is exercised
+through real sockets against a server running on its own event-loop
+thread, with the engine stepped by the driver thread — exactly the
+production wiring.  Streaming responses must deliver the same tokens a
+non-streaming request (and a bare ``DecoderLM.generate``) produces; the
+admission policy's queue-depth bound must convert saturation into 503s;
+priority classes and deadlines must thread through to the continuous
+scheduler (a 0-deadline request comes back preempted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import DecoderLM, TransformerConfig
+from repro.serve import AdmissionPolicy, ApiServer, ReplicaPool, ServingEngine
+from repro.serve.api import api_request, stream_generate
+
+VOCAB = 48
+
+
+def _model(seed: int = 0) -> DecoderLM:
+    return DecoderLM(
+        TransformerConfig(
+            vocab_size=VOCAB,
+            d_model=32,
+            num_heads=4,
+            num_layers=2,
+            d_ff=64,
+            max_seq_len=32,
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture
+def server():
+    engine = ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0)
+    srv = ApiServer(
+        engine,
+        policy=AdmissionPolicy(priority_classes={"interactive": 10, "batch": 0}),
+    )
+    srv.start_in_thread()
+    yield srv
+    srv.stop_in_thread()
+
+
+def _prompt(rng, n=6):
+    return [int(t) for t in rng.integers(0, VOCAB, size=n)]
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, body = api_request(server.host, server.port, "/healthz")
+        assert status == 200 and body == {"ok": True}
+
+    def test_unknown_route_404(self, server):
+        status, body = api_request(server.host, server.port, "/nope")
+        assert status == 404 and "error" in body
+
+    def test_bad_json_400(self, server):
+        status, body = api_request(
+            server.host, server.port, "/v1/generate", {"max_new_tokens": 4}
+        )
+        assert status == 400 and "error" in body
+
+    def test_unknown_priority_class_400(self, server, rng):
+        status, body = api_request(
+            server.host,
+            server.port,
+            "/v1/generate",
+            {"prompt": _prompt(rng), "max_new_tokens": 2, "priority": "warp"},
+        )
+        assert status == 400 and "warp" in body["error"]
+
+    def test_stats_reports_engine_counters(self, server, rng):
+        status, _ = api_request(
+            server.host,
+            server.port,
+            "/v1/generate",
+            {"prompt": _prompt(rng), "max_new_tokens": 2},
+        )
+        assert status == 200
+        status, stats = api_request(server.host, server.port, "/v1/stats")
+        assert status == 200
+        assert stats["requests_completed"] >= 1
+        assert {"pending", "in_flight", "rejected"} <= stats.keys()
+
+
+class TestGenerate:
+    def test_tokens_match_bare_generate(self, server, rng):
+        prompt = _prompt(rng)
+        status, body = api_request(
+            server.host,
+            server.port,
+            "/v1/generate",
+            {"prompt": prompt, "max_new_tokens": 5},
+        )
+        assert status == 200 and body["done"]
+        solo = _model().generate(np.array(prompt), 5)[len(prompt):]
+        assert body["tokens"] == [int(t) for t in solo]
+        assert body["latency_s"] >= body["queued_s"] >= 0.0
+
+    def test_streaming_matches_non_streaming(self, server, rng):
+        prompt = _prompt(rng)
+        payload = {"prompt": prompt, "max_new_tokens": 6}
+        _, plain = api_request(server.host, server.port, "/v1/generate", payload)
+        streamed = stream_generate(server.host, server.port, payload)
+        assert streamed["status"] == 200
+        assert streamed["tokens"] == plain["tokens"]
+        # Client-observed TTFT is measured on the wire and precedes e2e.
+        assert 0.0 < streamed["client_ttft_s"] <= streamed["client_latency_s"]
+
+    def test_deadline_zero_preempts_via_api(self, server, rng):
+        status, body = api_request(
+            server.host,
+            server.port,
+            "/v1/generate",
+            {"prompt": _prompt(rng), "max_new_tokens": 8, "deadline_s": 0.0},
+        )
+        assert status == 200
+        assert body["preempted"] is True
+        assert len(body["tokens"]) < 8
+
+    def test_priority_class_accepted(self, server, rng):
+        status, body = api_request(
+            server.host,
+            server.port,
+            "/v1/generate",
+            {"prompt": _prompt(rng), "max_new_tokens": 3, "priority": "interactive"},
+        )
+        assert status == 200 and len(body["tokens"]) == 3
+
+
+class TestAdmission:
+    def test_queue_depth_bound_returns_503(self, rng):
+        engine = ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0)
+        server = ApiServer(engine, policy=AdmissionPolicy(max_queue_depth=0))
+        server.start_in_thread()
+        try:
+            status, body = api_request(
+                server.host,
+                server.port,
+                "/v1/generate",
+                {"prompt": _prompt(rng), "max_new_tokens": 2},
+            )
+            assert status == 503 and body["error"] == "overloaded"
+            _, stats = api_request(server.host, server.port, "/v1/stats")
+            assert stats["rejected"] == 1
+        finally:
+            server.stop_in_thread()
+
+    def test_streaming_client_surfaces_503(self, rng):
+        engine = ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0)
+        server = ApiServer(engine, policy=AdmissionPolicy(max_queue_depth=0))
+        server.start_in_thread()
+        try:
+            out = stream_generate(
+                server.host,
+                server.port,
+                {"prompt": _prompt(rng), "max_new_tokens": 2},
+            )
+            assert out["status"] == 503
+        finally:
+            server.stop_in_thread()
+
+    def test_default_deadline_applies_when_request_names_none(self, rng):
+        engine = ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0)
+        server = ApiServer(engine, policy=AdmissionPolicy(default_deadline_s=0.0))
+        server.start_in_thread()
+        try:
+            status, body = api_request(
+                server.host,
+                server.port,
+                "/v1/generate",
+                {"prompt": _prompt(rng), "max_new_tokens": 8},
+            )
+            assert status == 200 and body["preempted"] is True
+        finally:
+            server.stop_in_thread()
+
+    def test_resolve_priority(self):
+        policy = AdmissionPolicy(default_priority=3, priority_classes={"hi": 9})
+        assert policy.resolve_priority(None) == 3
+        assert policy.resolve_priority(7) == 7
+        assert policy.resolve_priority("hi") == 9
+        with pytest.raises(ValueError):
+            policy.resolve_priority("nope")
+
+
+class TestPoolTarget:
+    def test_server_over_inline_pool(self, rng):
+        pool = ReplicaPool(
+            lambda index: ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0),
+            replicas=2,
+            processes=False,
+        )
+        server = ApiServer(pool, policy=AdmissionPolicy(max_queue_depth=32))
+        server.start_in_thread()
+        try:
+            prompt = _prompt(rng)
+            status, body = api_request(
+                server.host,
+                server.port,
+                "/v1/generate",
+                {"prompt": prompt, "max_new_tokens": 4, "session": "s1"},
+            )
+            assert status == 200
+            solo = _model().generate(np.array(prompt), 4)[len(prompt):]
+            assert body["tokens"] == [int(t) for t in solo]
+            _, stats = api_request(server.host, server.port, "/v1/stats")
+            assert stats["outstanding"] == 0
+            assert stats["requeues"] == 0
+            assert len(stats["outstanding_tokens"]) == 2
+        finally:
+            server.stop_in_thread()
+            pool.shutdown()

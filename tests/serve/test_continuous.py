@@ -249,7 +249,7 @@ class TestFakeClockAdmission:
         clock = FakeClock()
         engine = ServingEngine(model, clock=clock)
         rid = engine.submit(rng.integers(0, 40, size=4), 3)
-        assert engine._queue[0].submitted_at == 0.0
+        assert engine._ingress[0].submitted_at == 0.0
         clock.now = 5.0
         engine.step(force=True)  # prefill + tokens 1 and 2 at t=5
         clock.now = 6.0

@@ -1,0 +1,243 @@
+"""ReplicaPool: shared-memory rings, routers, fault handling, equivalence.
+
+The scale-out contract of replication case 2: a pool of data-parallel
+engines behind ``ShmRing`` transports must be *observably identical* to a
+single local engine — per-request token streams bitwise-equal regardless
+of replica count or router (hypothesis-driven over request mixes in the
+inline mode, plus real fork-worker coverage), with dead replicas detected
+and their outstanding requests requeued onto survivors without changing
+any caller-visible tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import DecoderLM, TransformerConfig
+from repro.serve import (
+    LeastOutstandingTokensRouter,
+    ReplicaPool,
+    RoundRobinRouter,
+    ServingEngine,
+    SessionAffinityRouter,
+    ShmRing,
+)
+
+VOCAB = 48
+
+
+def _model(seed: int = 0) -> DecoderLM:
+    return DecoderLM(
+        TransformerConfig(
+            vocab_size=VOCAB,
+            d_model=32,
+            num_heads=4,
+            num_layers=2,
+            d_ff=64,
+            max_seq_len=32,
+            seed=seed,
+        )
+    )
+
+
+def _factory(index: int) -> ServingEngine:
+    return ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0)
+
+
+class TestShmRing:
+    def test_push_pop_roundtrip(self):
+        ring = ShmRing(capacity_words=64)
+        try:
+            assert ring.pop() is None
+            assert ring.push([1, 2, 3])
+            assert ring.push([7])
+            assert ring.pop() == [1, 2, 3]
+            assert ring.pop() == [7]
+            assert ring.pop() is None
+        finally:
+            ring.close(unlink=True)
+
+    def test_full_ring_rejects_until_drained(self):
+        ring = ShmRing(capacity_words=16)
+        try:
+            payload = [1, 2, 3, 4, 5, 6]  # 7 words per record with prefix
+            assert ring.push(payload)
+            assert ring.push(payload)
+            assert not ring.push(payload)  # 14 words used, no room
+            assert ring.pop() == payload
+            assert ring.push(payload)
+        finally:
+            ring.close(unlink=True)
+
+    def test_wraparound_preserves_records(self):
+        ring = ShmRing(capacity_words=16)
+        try:
+            for i in range(50):  # many times around the ring
+                assert ring.push([i, i + 1])
+                assert ring.pop() == [i, i + 1]
+        finally:
+            ring.close(unlink=True)
+
+    def test_oversized_record_raises(self):
+        ring = ShmRing(capacity_words=16)
+        try:
+            with pytest.raises(ValueError, match="exceeds ring capacity"):
+                ring.push(list(range(16)))
+        finally:
+            ring.close(unlink=True)
+
+    def test_attach_by_name_shares_segment(self):
+        owner = ShmRing(capacity_words=32)
+        try:
+            attached = ShmRing(capacity_words=32, name=owner.name)
+            assert attached.push([11, 22])
+            assert owner.pop() == [11, 22]
+            attached.close()
+        finally:
+            owner.close(unlink=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShmRing(capacity_words=8)
+
+
+class TestRouters:
+    def test_round_robin_cycles_live_replicas(self):
+        router = RoundRobinRouter()
+        loads = [0, 0, 0]
+        assert [router.pick(loads) for _ in range(4)] == [0, 1, 2, 0]
+
+    def test_round_robin_skips_dead(self):
+        router = RoundRobinRouter()
+        assert router.pick([None, 0, 0]) == 1
+        assert router.pick([None, 0, 0]) == 2
+
+    def test_round_robin_all_dead_raises(self):
+        with pytest.raises(RuntimeError, match="no live replicas"):
+            RoundRobinRouter().pick([None, None])
+
+    def test_least_outstanding_picks_min_load(self):
+        router = LeastOutstandingTokensRouter()
+        assert router.pick([30, 10, 20]) == 1
+        assert router.pick([30, None, 20]) == 2
+
+    def test_session_affinity_pins_and_repins(self):
+        router = SessionAffinityRouter()
+        first = router.pick([0, 0], session="a")
+        assert router.pick([99, 99], session="a") == first  # pinned, load ignored
+        # Pinned replica dies: the session re-pins via the fallback.
+        loads = [None, None]
+        loads[1 - first] = 0
+        repinned = router.pick(loads, session="a")
+        assert repinned == 1 - first
+        assert router.pick([0, 0], session="a") == repinned
+
+    def test_session_affinity_without_session_falls_back(self):
+        router = SessionAffinityRouter(fallback=LeastOutstandingTokensRouter())
+        assert router.pick([20, 5], session=None) == 1
+
+
+class TestInlineEquivalence:
+    """Pool (any replica count/router) ≡ single local engine, bitwise."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        data=st.data(),
+        replicas=st.integers(min_value=1, max_value=3),
+        router=st.sampled_from(["round_robin", "least_outstanding_tokens", "session_affinity"]),
+    )
+    def test_pool_token_streams_match_single_engine(self, data, replicas, router):
+        n = data.draw(st.integers(min_value=1, max_value=6), label="requests")
+        prompts = [
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=VOCAB - 1),
+                    min_size=1,
+                    max_size=8,
+                ),
+                label=f"prompt{i}",
+            )
+            for i in range(n)
+        ]
+        budgets = [
+            data.draw(st.integers(min_value=1, max_value=8), label=f"budget{i}")
+            for i in range(n)
+        ]
+        sessions = [
+            data.draw(st.sampled_from([None, "a", "b"]), label=f"session{i}")
+            for i in range(n)
+        ]
+
+        reference = ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0)
+        ref_ids = [
+            reference.submit(np.array(p, dtype=np.int64), b)
+            for p, b in zip(prompts, budgets)
+        ]
+        ref_results = {r.request_id: r for r in reference.run_until_idle()}
+
+        streamed: dict[int, list[int]] = {}
+
+        def on_token(rid: int, token: int) -> None:
+            streamed.setdefault(rid, []).append(token)
+
+        with ReplicaPool(_factory, replicas=replicas, router=router, processes=False) as pool:
+            ids = [
+                pool.submit(np.array(p, dtype=np.int64), b, session=s, on_token=on_token)
+                for p, b, s in zip(prompts, budgets, sessions)
+            ]
+            results = {r.request_id: r for r in pool.drain()}
+
+        for ref_id, pool_id in zip(ref_ids, ids):
+            expected = ref_results[ref_id].tokens
+            got = results[pool_id].tokens
+            np.testing.assert_array_equal(got, expected)
+            # The streamed prefix is exactly the result tokens, in order.
+            assert streamed.get(pool_id, []) == [int(t) for t in expected]
+
+
+class TestProcessPool:
+    def test_fork_workers_match_single_engine(self, rng):
+        prompts = [rng.integers(0, VOCAB, size=int(n)) for n in rng.integers(2, 8, size=5)]
+        reference = ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0)
+        ref_ids = [reference.submit(p, 6) for p in prompts]
+        ref = {r.request_id: r for r in reference.run_until_idle()}
+        expected = [ref[rid].tokens for rid in ref_ids]
+
+        with ReplicaPool(_factory, replicas=2, processes=True) as pool:
+            ids = [pool.submit(p, 6) for p in prompts]
+            results = {r.request_id: r for r in pool.drain(timeout_s=60.0)}
+        for i, rid in enumerate(ids):
+            np.testing.assert_array_equal(results[rid].tokens, expected[i])
+            assert results[rid].latency_s >= 0.0
+
+    def test_kill_replica_requeues_onto_survivor(self, rng):
+        prompts = [rng.integers(0, VOCAB, size=4) for _ in range(4)]
+        reference = ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0)
+        ref_ids = [reference.submit(p, 5) for p in prompts]
+        ref = {r.request_id: r for r in reference.run_until_idle()}
+
+        with ReplicaPool(_factory, replicas=2, router="round_robin", processes=True) as pool:
+            ids = [pool.submit(p, 5) for p in prompts]
+            pool.kill_replica(0)
+            results = {r.request_id: r for r in pool.drain(timeout_s=60.0)}
+            assert pool.requeues >= 1
+            assert pool.outstanding_tokens()[0] is None  # dead replica reports None
+        for ref_id, pool_id in zip(ref_ids, ids):
+            np.testing.assert_array_equal(results[pool_id].tokens, ref[ref_id].tokens)
+
+    def test_all_dead_with_outstanding_raises(self, rng):
+        pool = ReplicaPool(_factory, replicas=1, processes=False)
+        try:
+            pool.submit(rng.integers(0, VOCAB, size=4), 64)  # never completes
+            with pytest.raises(RuntimeError, match="all replicas dead"):
+                pool.kill_replica(0)
+        finally:
+            for ring in pool.inboxes + pool.outboxes:
+                ring.close(unlink=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaPool(_factory, replicas=0, processes=False)
