@@ -31,8 +31,12 @@ decoding one is preempted (see :mod:`repro.serve.continuous`).
 Threading model: the asyncio loop owns sockets only.  A dedicated driver
 thread steps the engine (or polls the pool); tokens and completions cross
 back into the loop via ``loop.call_soon_threadsafe`` onto per-request
-``asyncio.Queue``\\ s.  Engine ``submit``/``pop_result`` are thread-safe,
-so the handler thread and driver thread never race.
+``asyncio.Queue``\\ s.  Both targets lock their own book-keeping
+(``ServingEngine`` submit/pop_result, ``ReplicaPool``'s internal RLock),
+so the handler thread and driver thread never race.  Handlers never hold
+``_waiters_lock`` across ``submit`` — a full replica inbox makes
+``pool.submit`` poll (and fire token callbacks) on the submitting thread,
+so the callbacks write straight to their captured queue instead.
 
 The module also ships the blocking socket clients the tests and the
 open-loop benchmark use (:func:`api_request`, :func:`stream_generate`) —
@@ -292,6 +296,8 @@ class ApiServer:
             stream = bool(payload.get("stream", False))
             priority = self.policy.resolve_priority(payload.get("priority"))
             deadline_s = payload.get("deadline_s", self.policy.default_deadline_s)
+            if deadline_s is not None:
+                deadline_s = float(deadline_s)
             session = payload.get("session")
         except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
             writer.write(_json_response(400, {"error": str(exc)}))
@@ -305,25 +311,36 @@ class ApiServer:
             return
 
         queue: asyncio.Queue = asyncio.Queue()
+        loop = asyncio.get_running_loop()
 
         def on_token(rid: int, token: int) -> None:
-            # Fires on the driver thread; both the engine and the pool
-            # pass the same id submit() returned, and _push serializes on
-            # the waiters lock, so delivery cannot precede registration.
-            self._push(rid, ("token", token))
+            # Fires on the driver thread — or on *this* thread when a full
+            # replica inbox makes pool.submit() poll for back-pressure.
+            # The queue is captured directly, so token delivery needs no
+            # waiter registration and no lock (which is what lets submit()
+            # run outside _waiters_lock below without dropping tokens).
+            loop.call_soon_threadsafe(queue.put_nowait, ("token", int(token)))
 
         try:
             if self.is_pool:
-                request_id = self._reserve(queue, lambda: self.target.submit(
-                    prompt, max_new, session=session, on_token=on_token))
+                request_id = self.target.submit(
+                    prompt, max_new, session=session, on_token=on_token)
             else:
-                request_id = self._reserve(queue, lambda: self.target.submit(
+                request_id = self.target.submit(
                     prompt, max_new, on_token=on_token,
-                    priority=priority, deadline_s=deadline_s))
+                    priority=priority, deadline_s=deadline_s)
         except ValueError as exc:
             writer.write(_json_response(400, {"error": str(exc)}))
             await writer.drain()
             return
+        # Register the waiter *after* submit: completions are retained by
+        # the target until pop_result, and _collect_done only pops ids it
+        # finds registered, so a result that lands in this gap is simply
+        # delivered on the driver thread's next sweep.  Holding the lock
+        # across submit instead would deadlock when pool back-pressure
+        # re-enters via on_token on this same thread.
+        with self._waiters_lock:
+            self._waiters[request_id] = queue
 
         if stream:
             writer.write(_SSE_HEAD)
@@ -354,20 +371,6 @@ class ApiServer:
                 writer.write(_json_response(200, summary))
             await writer.drain()
             return
-
-    def _reserve(self, queue: asyncio.Queue, submit) -> int:
-        """Register the waiter queue atomically around submission.
-
-        The waiter must exist before the driver thread can deliver the
-        request's first token or completion; holding the waiters lock
-        across submit-then-register means any driver-thread ``_push`` or
-        ``_collect_done`` for the new id blocks until the queue is in
-        place — no token can be dropped in the gap.
-        """
-        with self._waiters_lock:
-            request_id = submit()
-            self._waiters[request_id] = queue
-        return request_id
 
 
 # ----------------------------------------------------------------------

@@ -34,6 +34,7 @@ hypothesis equivalence harness uses.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import Lock, get_all_start_methods, get_context
@@ -355,6 +356,13 @@ class ReplicaPool:
         (deterministic and fast — what the equivalence tests use).
     ring_words:
         Per-ring capacity in int64 words (two rings per replica).
+
+    Thread safety: :meth:`submit`, :meth:`poll`, :meth:`pop_result`,
+    :meth:`outstanding_tokens` and :meth:`drain` may be called from
+    different threads concurrently (e.g. an asyncio handler submitting
+    while a driver thread polls) — all book-keeping runs under one
+    internal re-entrant lock.  Streaming ``on_token`` callbacks fire with
+    that lock held, so they must not call back into the pool.
     """
 
     def __init__(
@@ -367,6 +375,13 @@ class ReplicaPool:
     ) -> None:
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if processes and "fork" not in get_all_start_methods():
+            raise RuntimeError(
+                "ReplicaPool(processes=True) requires the 'fork' start "
+                "method: workers inherit the live ShmRing mappings, "
+                "which cannot be pickled for spawn. Use processes=False "
+                "on this platform."
+            )
         self.replicas = replicas
         self.router = ROUTERS[router]() if isinstance(router, str) else router
         self.processes = processes
@@ -379,9 +394,11 @@ class ReplicaPool:
         self.requeues = 0  # requests re-routed off dead replicas
         self._engines = None
         self._workers: list = []
+        # Re-entrant: submit() -> _send() back-pressure -> poll() re-enters
+        # on the same thread; a concurrent driver-thread poll() serializes.
+        self._lock = threading.RLock()
         if processes:
-            methods = get_all_start_methods()
-            ctx = get_context("fork" if "fork" in methods else None)
+            ctx = get_context("fork")
             for index in range(replicas):
                 worker = ctx.Process(
                     target=_replica_worker,
@@ -397,18 +414,20 @@ class ReplicaPool:
     @property
     def outstanding(self) -> int:
         """Routed requests not yet completed."""
-        return len(self._outstanding)
+        with self._lock:
+            return len(self._outstanding)
 
     def outstanding_tokens(self) -> list[int | None]:
         """Per-replica reserved (prompt + budget) tokens; None when dead."""
-        loads: list[int | None] = [0] * self.replicas
-        for index in range(self.replicas):
-            if not self._alive[index]:
-                loads[index] = None
-        for entry in self._outstanding.values():
-            if loads[entry.replica] is not None:
-                loads[entry.replica] += entry.token_need
-        return loads
+        with self._lock:
+            loads: list[int | None] = [0] * self.replicas
+            for index in range(self.replicas):
+                if not self._alive[index]:
+                    loads[index] = None
+            for entry in self._outstanding.values():
+                if loads[entry.replica] is not None:
+                    loads[entry.replica] += entry.token_need
+            return loads
 
     def submit(
         self,
@@ -423,19 +442,20 @@ class ReplicaPool:
         tokens as :meth:`poll` drains them off the replica's outbox.
         """
         prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
-        replica = self.router.pick(self.outstanding_tokens(), session)
-        request_id = self._next_id
-        self._next_id += 1
-        entry = _Outstanding(
-            request_id=request_id,
-            replica=replica,
-            prompt=prompt,
-            max_new_tokens=int(max_new_tokens),
-            session=session,
-            on_token=on_token,
-        )
-        self._outstanding[request_id] = entry
-        self._send(entry)
+        with self._lock:
+            replica = self.router.pick(self.outstanding_tokens(), session)
+            request_id = self._next_id
+            self._next_id += 1
+            entry = _Outstanding(
+                request_id=request_id,
+                replica=replica,
+                prompt=prompt,
+                max_new_tokens=int(max_new_tokens),
+                session=session,
+                on_token=on_token,
+            )
+            self._outstanding[request_id] = entry
+            self._send(entry)
         return request_id
 
     def _send(self, entry: _Outstanding) -> None:
@@ -468,41 +488,42 @@ class ReplicaPool:
         worker are requeued onto surviving replicas (decoding restarts
         from the prompt; greedy decode makes the retry token-identical).
         """
-        if self._engines is not None:
-            self._pump_inline()
-        completed: list[PoolResult] = []
-        for index in range(self.replicas):
-            if not self._alive[index]:
-                continue
-            while True:
-                record = self.outboxes[index].pop()
-                if record is None:
-                    break
-                kind = record[0]
-                if kind == KIND_TOKEN:
-                    entry = self._outstanding.get(record[1])
-                    if entry is not None and entry.on_token is not None:
-                        entry.streamed += 1
-                        entry.on_token(entry.request_id, record[2])
-                elif kind == KIND_DONE:
-                    entry = self._outstanding.pop(record[1], None)
-                    if entry is None:
-                        continue  # raced with a requeue — stale completion
-                    n = record[7]
-                    result = PoolResult(
-                        request_id=entry.request_id,
-                        replica=index,
-                        tokens=np.array(record[8 : 8 + n], dtype=np.int64),
-                        preempted=bool(record[2]),
-                        queued_s=_i2f(record[3]),
-                        latency_s=_i2f(record[4]),
-                        ttft_s=_i2f(record[5]),
-                        tpot_s=_i2f(record[6]),
-                    )
-                    self._results[entry.request_id] = result
-                    completed.append(result)
-        self._detect_dead()
-        return completed
+        with self._lock:
+            if self._engines is not None:
+                self._pump_inline()
+            completed: list[PoolResult] = []
+            for index in range(self.replicas):
+                if not self._alive[index]:
+                    continue
+                while True:
+                    record = self.outboxes[index].pop()
+                    if record is None:
+                        break
+                    kind = record[0]
+                    if kind == KIND_TOKEN:
+                        entry = self._outstanding.get(record[1])
+                        if entry is not None and entry.on_token is not None:
+                            entry.streamed += 1
+                            entry.on_token(entry.request_id, record[2])
+                    elif kind == KIND_DONE:
+                        entry = self._outstanding.pop(record[1], None)
+                        if entry is None:
+                            continue  # raced with a requeue — stale completion
+                        n = record[7]
+                        result = PoolResult(
+                            request_id=entry.request_id,
+                            replica=index,
+                            tokens=np.array(record[8 : 8 + n], dtype=np.int64),
+                            preempted=bool(record[2]),
+                            queued_s=_i2f(record[3]),
+                            latency_s=_i2f(record[4]),
+                            ttft_s=_i2f(record[5]),
+                            tpot_s=_i2f(record[6]),
+                        )
+                        self._results[entry.request_id] = result
+                        completed.append(result)
+            self._detect_dead()
+            return completed
 
     def _detect_dead(self) -> None:
         if not self.processes:
@@ -528,13 +549,15 @@ class ReplicaPool:
             self._workers[index].terminate()
             self._workers[index].join(timeout=5.0)
         else:
-            self._alive[index] = False
-            self._requeue_from(index)
+            with self._lock:
+                self._alive[index] = False
+                self._requeue_from(index)
 
     # ------------------------------------------------------------------
     def pop_result(self, request_id: int) -> PoolResult | None:
         """Claim (and forget) a completed request's result, if any."""
-        return self._results.pop(request_id, None)
+        with self._lock:
+            return self._results.pop(request_id, None)
 
     def drain(self, timeout_s: float = 60.0) -> list[PoolResult]:
         """Poll until every outstanding request completed; results returned.
@@ -545,13 +568,13 @@ class ReplicaPool:
         """
         completed: list[PoolResult] = []
         deadline = time.monotonic() + timeout_s
-        while self._outstanding:
+        while self.outstanding:
             completed.extend(self.poll())
-            if not self._outstanding:
+            if not self.outstanding:
                 break
             if time.monotonic() > deadline:
                 raise TimeoutError(
-                    f"{len(self._outstanding)} requests outstanding after {timeout_s}s"
+                    f"{self.outstanding} requests outstanding after {timeout_s}s"
                 )
             if self.processes:
                 time.sleep(0.001)

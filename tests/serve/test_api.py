@@ -12,6 +12,9 @@ scheduler (a 0-deadline request comes back preempted).
 
 from __future__ import annotations
 
+import threading
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -64,6 +67,15 @@ class TestRoutes:
     def test_bad_json_400(self, server):
         status, body = api_request(
             server.host, server.port, "/v1/generate", {"max_new_tokens": 4}
+        )
+        assert status == 400 and "error" in body
+
+    def test_non_numeric_deadline_400(self, server, rng):
+        status, body = api_request(
+            server.host,
+            server.port,
+            "/v1/generate",
+            {"prompt": _prompt(rng), "max_new_tokens": 2, "deadline_s": "1s"},
         )
         assert status == 400 and "error" in body
 
@@ -189,6 +201,70 @@ class TestAdmission:
         assert policy.resolve_priority("hi") == 9
         with pytest.raises(ValueError):
             policy.resolve_priority("nope")
+
+
+class _SubmitTimeStreamTarget:
+    """Engine stand-in whose submit() fires on_token *synchronously*.
+
+    Models the replica-pool back-pressure path: a full inbox makes
+    ``pool.submit`` poll, delivering token callbacks on the submitting
+    (event-loop) thread before submit returns.  A handler holding a
+    non-reentrant lock across submit while the callback re-acquires it
+    would deadlock here — this target makes that path deterministic.
+    """
+
+    busy = True
+    pending = 0
+    in_flight = 0
+
+    def __init__(self, n_tokens: int = 3) -> None:
+        self.n_tokens = n_tokens
+        self._results: dict[int, object] = {}
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def submit(self, prompt, max_new, on_token=None, **_ignored) -> int:
+        with self._lock:
+            rid = self._next
+            self._next += 1
+        tokens = list(range(self.n_tokens))
+        if on_token is not None:
+            for token in tokens:
+                on_token(rid, token)
+        with self._lock:
+            self._results[rid] = SimpleNamespace(
+                tokens=np.array(tokens, dtype=np.int64),
+                preempted=False,
+                queued_s=0.0,
+                latency_s=0.0,
+                ttft_s=0.0,
+                tpot_s=0.0,
+            )
+        return rid
+
+    def step(self, force: bool = False) -> list:
+        return []
+
+    def pop_result(self, request_id: int):
+        with self._lock:
+            return self._results.pop(request_id, None)
+
+
+class TestSubmitTimeCallbacks:
+    def test_synchronous_on_token_during_submit_does_not_deadlock(self):
+        server = ApiServer(_SubmitTimeStreamTarget(n_tokens=4))
+        server.start_in_thread()
+        try:
+            out = stream_generate(
+                server.host,
+                server.port,
+                {"prompt": [1, 2, 3], "max_new_tokens": 4},
+                timeout_s=10.0,
+            )
+            assert out["status"] == 200
+            assert out["tokens"] == [0, 1, 2, 3]
+        finally:
+            server.stop_in_thread()
 
 
 class TestPoolTarget:

@@ -11,6 +11,9 @@ any caller-visible tokens.
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -198,6 +201,57 @@ class TestInlineEquivalence:
             assert streamed.get(pool_id, []) == [int(t) for t in expected]
 
 
+class TestThreadSafety:
+    """submit()/poll() from different threads — the ApiServer wiring."""
+
+    def test_concurrent_submit_and_poll(self, rng):
+        """A poller thread races 40 submits; no corruption, all bitwise.
+
+        This is exactly how ApiServer drives a pool: the asyncio handler
+        thread submits while the driver thread polls.  Unsynchronized,
+        outstanding_tokens() iterating _outstanding during a poll()-side
+        pop raised 'dictionary changed size during iteration'.
+        """
+        prompts = [rng.integers(0, VOCAB, size=int(n)) for n in rng.integers(2, 8, size=40)]
+        reference = ServingEngine(_model(), max_batch_size=4, max_wait_s=0.0)
+        ref_ids = [reference.submit(p, 4) for p in prompts]
+        ref = {r.request_id: r for r in reference.run_until_idle()}
+        expected = [ref[rid].tokens for rid in ref_ids]
+
+        pool = ReplicaPool(_factory, replicas=2, processes=False)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def poller() -> None:
+            try:
+                while not stop.is_set():
+                    pool.poll()
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        thread = threading.Thread(target=poller)
+        thread.start()
+        try:
+            ids = [pool.submit(p, 4) for p in prompts]
+            results: dict[int, object] = {}
+            start = time.monotonic()
+            while len(results) < len(ids) and not errors:
+                for rid in ids:
+                    got = pool.pop_result(rid)
+                    if got is not None:
+                        results[rid] = got
+                assert time.monotonic() - start < 60.0
+                time.sleep(0.0005)
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+            for ring in pool.inboxes + pool.outboxes:
+                ring.close(unlink=True)
+        assert not errors, f"poller thread raised: {errors[0]!r}"
+        for rid, want in zip(ids, expected):
+            np.testing.assert_array_equal(results[rid].tokens, want)
+
+
 class TestProcessPool:
     def test_fork_workers_match_single_engine(self, rng):
         prompts = [rng.integers(0, VOCAB, size=int(n)) for n in rng.integers(2, 8, size=5)]
@@ -241,3 +295,11 @@ class TestProcessPool:
     def test_validation(self):
         with pytest.raises(ValueError):
             ReplicaPool(_factory, replicas=0, processes=False)
+
+    def test_processes_require_fork_start_method(self, monkeypatch):
+        """Fork-less platforms get a clear error, not a pickling crash."""
+        import repro.serve.replica as replica_mod
+
+        monkeypatch.setattr(replica_mod, "get_all_start_methods", lambda: ["spawn"])
+        with pytest.raises(RuntimeError, match="'fork' start method"):
+            ReplicaPool(_factory, replicas=1, processes=True)
